@@ -1,0 +1,81 @@
+// Command atpg runs PODEM on every collapsed stuck-at fault of a .bench
+// netlist and classifies the circuit's faults as testable, redundant or
+// aborted.
+//
+// Usage:
+//
+//	atpg [-backtracks n] [-filter n] [-tests] circuit.bench
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"compsynth"
+	"compsynth/internal/atpg"
+	"compsynth/internal/faults"
+	"compsynth/internal/faultsim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("atpg: ")
+	backtracks := flag.Int("backtracks", 20000, "PODEM backtrack limit")
+	filter := flag.Int("filter", 2048, "random patterns to drop easy faults first (0 = none)")
+	showTests := flag.Bool("tests", false, "print a test per hard testable fault")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: atpg [-backtracks n] circuit.bench")
+		os.Exit(2)
+	}
+	c, err := compsynth.LoadBench(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fl := faults.Collapse(c)
+	fmt.Printf("%s: %v, %d collapsed faults\n", c.Name, c.Stats(), len(fl))
+
+	hard := fl
+	easy := 0
+	if *filter > 0 {
+		res := faultsim.RunRandom(c, fl, *filter, 7)
+		hard = res.Remaining
+		easy = res.Detected
+	}
+	testable, redundant, aborted := easy, 0, 0
+	for _, f := range hard {
+		r := atpg.Generate(c, f, atpg.Options{BacktrackLimit: *backtracks})
+		switch r.Status {
+		case atpg.Testable:
+			testable++
+			if *showTests {
+				fmt.Printf("  %v: test %v (%d backtracks)\n", f, asBits(r.Test), r.Backtracks)
+			}
+		case atpg.Redundant:
+			redundant++
+			fmt.Printf("  %v: redundant\n", f)
+		case atpg.Aborted:
+			aborted++
+			fmt.Printf("  %v: aborted after %d backtracks\n", f, r.Backtracks)
+		}
+	}
+	fmt.Printf("testable: %d (random: %d, podem: %d), redundant: %d, aborted: %d\n",
+		testable, easy, testable-easy, redundant, aborted)
+	if redundant == 0 && aborted == 0 {
+		fmt.Println("circuit is fully testable for single stuck-at faults")
+	}
+}
+
+func asBits(t []bool) string {
+	b := make([]byte, len(t))
+	for i, v := range t {
+		if v {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,48 @@
+// Command pathcount labels a .bench netlist with Procedure 1 and prints the
+// number of PI-to-PO paths, optionally per output.
+//
+// Usage:
+//
+//	pathcount [-per-output] [-through line] circuit.bench
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"compsynth"
+	"compsynth/internal/paths"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pathcount: ")
+	perOutput := flag.Bool("per-output", false, "print one line per primary output")
+	through := flag.String("through", "", "also print the number of paths through this line")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pathcount [-per-output] [-through line] circuit.bench")
+		os.Exit(2)
+	}
+	c, err := compsynth.LoadBench(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	total := compsynth.CountPathsBig(c)
+	fmt.Printf("%s: %v paths (%v)\n", c.Name, total, c.Stats())
+	if *perOutput {
+		np := paths.LabelsBig(c)
+		for _, o := range c.Outputs {
+			fmt.Printf("  %-12s %v\n", c.Nodes[o].Name, np[o])
+		}
+	}
+	if *through != "" {
+		id := c.NodeByName(*through)
+		if id < 0 {
+			log.Fatalf("no line named %q", *through)
+		}
+		fmt.Printf("  through %s: %d\n", *through, paths.Through(c, id))
+	}
+}

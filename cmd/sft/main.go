@@ -1,0 +1,113 @@
+// Command sft runs the synthesis-for-testability flow on a .bench netlist:
+// optional redundancy removal, Procedure 2 or 3 resynthesis, optional
+// post-pass redundancy removal, and a testability report.
+//
+// Usage:
+//
+//	sft -in circuit.bench [-out out.bench] [-objective gates|paths|combined]
+//	    [-k 5] [-sampling] [-redundancy] [-report]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"compsynth"
+	"compsynth/internal/redundancy"
+	"compsynth/internal/resynth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sft: ")
+	var (
+		in        = flag.String("in", "", "input .bench netlist (required)")
+		out       = flag.String("out", "", "output .bench netlist (optional)")
+		objective = flag.String("objective", "gates", "gates (Procedure 2), paths (Procedure 3) or combined")
+		k         = flag.Int("k", 5, "subcircuit input limit K")
+		sampling  = flag.Bool("sampling", false, "use the paper's 200-permutation identification")
+		redund    = flag.Bool("redundancy", true, "apply redundancy removal after resynthesis")
+		maxUnits  = flag.Int("max-units", 1, "allow ORs of up to this many comparison units (Sec. 6 ext.)")
+		useSDC    = flag.Bool("sdc", false, "use reachability don't-cares during identification (Sec. 6 ext.)")
+		report    = flag.Bool("report", false, "print a testability report (stuck-at + path delay)")
+		seed      = flag.Int64("seed", 1995, "seed for campaigns")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	c, err := compsynth.LoadBench(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %s: %v\n", *in, c.Stats())
+	p0, err := compsynth.CountPaths(c)
+	if err != nil {
+		log.Fatalf("path count: %v (use smaller circuits; count exceeds uint64)", err)
+	}
+	fmt.Printf("paths: %d\n", p0)
+
+	opt := resynth.DefaultOptions()
+	opt.K = *k
+	opt.UseSampling = *sampling
+	opt.MaxUnits = *maxUnits
+	opt.UseSDC = *useSDC
+	opt.Seed = *seed
+	switch *objective {
+	case "gates":
+		opt.Objective = resynth.MinGates
+	case "paths":
+		opt.Objective = resynth.MinPaths
+	case "combined":
+		opt.Objective = resynth.Combined
+	default:
+		log.Fatalf("unknown objective %q", *objective)
+	}
+	res, err := compsynth.Optimize(c, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resynthesis (%s, K=%d): %v\n", *objective, *k, res)
+
+	final := res.Circuit
+	if *redund {
+		ropt := redundancy.DefaultOptions()
+		rr, err := redundancy.Remove(final, ropt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("redundancy removal: %v\n", rr)
+		final = rr.Circuit
+	}
+	if !compsynth.Equivalent(c, final) {
+		log.Fatal("internal error: result not equivalent to input")
+	}
+	fmt.Printf("final: %v, paths %d\n", final.Stats(), mustPaths(final))
+
+	if *report {
+		sa := compsynth.StuckAtCampaign(final, 1<<16, *seed)
+		fmt.Printf("stuck-at: %d faults, %d undetected after %d random patterns (eff. %d)\n",
+			sa.TotalFaults, len(sa.Remaining), sa.Patterns, sa.LastEffective)
+		pd := compsynth.PathDelayCampaign(final, 10000, 1000, *seed)
+		fmt.Printf("robust PDF: %d/%d detected (%.2f%%), eff. pair %d\n",
+			pd.Detected, pd.TotalFaults, 100*pd.Coverage(), pd.LastEffective)
+	}
+	if *out != "" {
+		if err := compsynth.SaveBench(final, *out); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+func mustPaths(c *compsynth.Circuit) uint64 {
+	n, err := compsynth.CountPaths(c)
+	if err != nil {
+		return 0
+	}
+	return n
+}

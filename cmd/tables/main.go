@@ -1,0 +1,110 @@
+// Command tables regenerates the paper's experimental tables (Tables 2-7)
+// on the synthetic benchmark suite.
+//
+// Usage:
+//
+//	tables [-table all|2|3|4|5|6|7] [-scale f] [-quick] [-seed n]
+//	       [-patterns n] [-pairs n] [-circuits a,b,c] [-noverify]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"compsynth/internal/exper"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tables: ")
+	var (
+		table    = flag.String("table", "all", "which table to regenerate (2..7 or all)")
+		scale    = flag.Float64("scale", 1.0, "suite size multiplier")
+		quick    = flag.Bool("quick", false, "fast smoke-test configuration")
+		seed     = flag.Int64("seed", 1995, "campaign seed")
+		patterns = flag.Int("patterns", 1<<20, "random patterns for Table 6")
+		pairs    = flag.Int("pairs", 20000, "two-pattern budget for Table 7")
+		circuits = flag.String("circuits", "", "comma-separated circuit filter")
+		noverify = flag.Bool("noverify", false, "skip per-pass equivalence checks (faster)")
+	)
+	flag.Parse()
+
+	cfg := exper.DefaultConfig()
+	if *quick {
+		cfg = exper.QuickConfig()
+	}
+	if *scale != 1.0 {
+		cfg.Scale = *scale
+	}
+	cfg.Seed = *seed
+	if *patterns != 1<<20 {
+		cfg.StuckPatterns = *patterns
+	}
+	if *pairs != 20000 {
+		cfg.PDFPairs = *pairs
+	}
+	if *circuits != "" {
+		cfg.Circuits = strings.Split(*circuits, ",")
+	}
+	cfg.Verify = !*noverify
+
+	start := time.Now()
+	fmt.Printf("# preparing suite (scale=%.2f, irredundant=%v)\n", cfg.Scale, cfg.MakeIrredundant)
+	items, err := exper.PrepareSuite(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	suite := exper.NewSuite(cfg, items)
+	for _, nc := range items {
+		fmt.Printf("#   %-10s %v\n", nc.Name, nc.Circuit.Stats())
+	}
+	fmt.Printf("# suite ready in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	want := func(t string) bool { return *table == "all" || *table == t }
+	run := func(name string, f func() (string, error)) {
+		if !want(name) {
+			return
+		}
+		t0 := time.Now()
+		out, err := f()
+		if err != nil {
+			log.Fatalf("table %s: %v", name, err)
+		}
+		fmt.Print(out)
+		fmt.Printf("# table %s in %v\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	run("2", func() (string, error) {
+		rows, err := exper.Table2(suite)
+		return exper.FormatTable2(rows), err
+	})
+	run("3", func() (string, error) {
+		rows, err := exper.Table3(suite)
+		return exper.FormatTable3(rows), err
+	})
+	run("4", func() (string, error) {
+		a, b, err := exper.Table4(suite)
+		return exper.FormatTable4(a, b), err
+	})
+	run("5", func() (string, error) {
+		rows, err := exper.Table5(suite)
+		return exper.FormatTable5(rows), err
+	})
+	run("6", func() (string, error) {
+		rows, err := exper.Table6(suite)
+		return exper.FormatTable6(rows), err
+	})
+	run("7", func() (string, error) {
+		rows, err := exper.Table7(suite)
+		return exper.FormatTable7(rows), err
+	})
+	if *table != "all" && !strings.ContainsAny(*table, "234567") {
+		fmt.Fprintln(os.Stderr, "unknown table:", *table)
+		os.Exit(2)
+	}
+	fmt.Printf("# total %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,55 @@
+// Resynthesis walk-through: generate a synthetic benchmark, make it
+// irredundant, then compare Procedure 2 (minimum gates), Procedure 3
+// (minimum paths) and the combined objective of Section 4.3.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"compsynth"
+	"compsynth/internal/gen"
+	"compsynth/internal/resynth"
+)
+
+func main() {
+	bench := gen.Bench{Name: "demo", Params: gen.Params{
+		Name: "demo", Inputs: 24, Outputs: 16, Gates: 220, Layers: 9,
+		MaxFanin: 3, Locality: 0.7, InvProb: 0.15, Seed: 4242,
+	}}
+	c := bench.Build()
+
+	rr, err := compsynth.RemoveRedundancy(c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c = rr.Circuit
+	p0, _ := compsynth.CountPaths(c)
+	fmt.Printf("irredundant input: %v, %d paths (%d redundancies removed)\n\n",
+		c.Stats(), p0, rr.Removed)
+
+	objectives := []struct {
+		name string
+		obj  resynth.Objective
+	}{
+		{"Procedure 2 (min gates)", resynth.MinGates},
+		{"Procedure 3 (min paths)", resynth.MinPaths},
+		{"combined (Sec. 4.3)", resynth.Combined},
+	}
+	fmt.Printf("%-26s %8s %8s %10s %10s\n", "objective", "gates", "gates'", "paths", "paths'")
+	for _, o := range objectives {
+		opt := resynth.DefaultOptions()
+		opt.K = 5
+		opt.Objective = o.obj
+		res, err := compsynth.Optimize(c, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !compsynth.Equivalent(c, res.Circuit) {
+			log.Fatalf("%s: rewrite changed the function", o.name)
+		}
+		fmt.Printf("%-26s %8d %8d %10d %10d\n", o.name,
+			res.GatesBefore, res.GatesAfter, res.PathsBefore, res.PathsAfter)
+	}
+	fmt.Println("\nall rewrites verified equivalent")
+}

@@ -1,0 +1,178 @@
+package atpg
+
+import (
+	"testing"
+
+	"compsynth/internal/bench"
+	"compsynth/internal/circuit"
+	"compsynth/internal/faults"
+	"compsynth/internal/faultsim"
+	"compsynth/internal/gen"
+)
+
+func TestGenerateOnC17AllTestable(t *testing.T) {
+	// c17 is irredundant: every collapsed fault has a test, and each
+	// generated test must actually detect its fault.
+	c, _ := bench.ParseString(bench.C17, "c17")
+	for _, f := range faults.Collapse(c) {
+		res := Generate(c, f, Options{})
+		if res.Status != Testable {
+			t.Fatalf("fault %v: %v", f, res.Status)
+		}
+		if !faultsim.DetectedBy(c, f, res.Test) {
+			t.Fatalf("fault %v: generated test %v does not detect it", f, res.Test)
+		}
+	}
+}
+
+func TestGenerateProvesRedundancy(t *testing.T) {
+	// f = a OR (a AND b): AND-output sa0 is undetectable.
+	c := circuit.New("red")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	g1 := c.AddGate(circuit.And, "g1", a, b)
+	g2 := c.AddGate(circuit.Or, "g2", a, g1)
+	c.MarkOutput(g2)
+	res := Generate(c, faults.Fault{Node: g1, Pin: -1, Stuck: false}, Options{})
+	if res.Status != Redundant {
+		t.Fatalf("expected redundant, got %v (test %v)", res.Status, res.Test)
+	}
+	// The same line sa1 is testable (a=0, b=0 gives out 0 vs 1 faulty...
+	// check: good g1=0, out=a=0; faulty g1=1, out=1).
+	res = Generate(c, faults.Fault{Node: g1, Pin: -1, Stuck: true}, Options{})
+	if res.Status != Testable {
+		t.Fatalf("sa1 should be testable, got %v", res.Status)
+	}
+	if !faultsim.DetectedBy(c, faults.Fault{Node: g1, Pin: -1, Stuck: true}, res.Test) {
+		t.Fatal("test does not detect g1 sa1")
+	}
+}
+
+func TestGenerateBranchFault(t *testing.T) {
+	// a fans out to AND(a,b) and OR(a,b): branch faults are distinct.
+	c := circuit.New("br")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	g1 := c.AddGate(circuit.And, "g1", a, b)
+	g2 := c.AddGate(circuit.Or, "g2", a, b)
+	c.MarkOutput(g1)
+	c.MarkOutput(g2)
+	for _, f := range []faults.Fault{
+		{Node: g1, Pin: 0, Stuck: false},
+		{Node: g1, Pin: 0, Stuck: true},
+		{Node: g2, Pin: 0, Stuck: false},
+		{Node: g2, Pin: 0, Stuck: true},
+	} {
+		res := Generate(c, f, Options{})
+		if res.Status != Testable {
+			t.Fatalf("branch fault %v: %v", f, res.Status)
+		}
+		if !faultsim.DetectedBy(c, f, res.Test) {
+			t.Fatalf("branch fault %v: test %v misses", f, res.Test)
+		}
+	}
+}
+
+func TestGenerateAgreesWithFaultSim(t *testing.T) {
+	// Cross-validation on random circuits: any fault PODEM calls testable
+	// must be detected by its own test; any fault random simulation detects
+	// must not be called redundant.
+	for _, bn := range gen.SmallSuite()[:2] {
+		c := bn.Build()
+		fl := faults.Collapse(c)
+		sim := faultsim.RunRandom(c, fl, 2048, 5)
+		detected := map[faults.Fault]bool{}
+		remaining := map[faults.Fault]bool{}
+		for _, f := range sim.Remaining {
+			remaining[f] = true
+		}
+		for _, f := range fl {
+			if !remaining[f] {
+				detected[f] = true
+			}
+		}
+		for _, f := range fl {
+			res := Generate(c, f, Options{BacktrackLimit: 3000})
+			switch res.Status {
+			case Testable:
+				if !faultsim.DetectedBy(c, f, res.Test) {
+					t.Fatalf("%s: fault %v test %v does not detect", bn.Name, f, res.Test)
+				}
+			case Redundant:
+				if detected[f] {
+					t.Fatalf("%s: fault %v proved redundant but random-sim detected it", bn.Name, f)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateXorChain(t *testing.T) {
+	// Parity trees exercise the no-controlling-value paths.
+	c := circuit.New("x")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	d := c.AddInput("d")
+	g1 := c.AddGate(circuit.Xor, "", a, b)
+	g2 := c.AddGate(circuit.Xnor, "", g1, d)
+	c.MarkOutput(g2)
+	for _, f := range faults.Collapse(c) {
+		res := Generate(c, f, Options{})
+		if res.Status != Testable {
+			t.Fatalf("xor fault %v: %v", f, res.Status)
+		}
+		if !faultsim.DetectedBy(c, f, res.Test) {
+			t.Fatalf("xor fault %v: bad test", f)
+		}
+	}
+}
+
+func TestValueAlgebra(t *testing.T) {
+	if D.good() != 1 || D.bad() != 0 || Dbar.good() != 0 || Dbar.bad() != 1 {
+		t.Fatal("D semantics wrong")
+	}
+	if fromPair(1, 0) != D || fromPair(0, 1) != Dbar || fromPair(1, 1) != One ||
+		fromPair(0, 0) != Zero || fromPair(-1, 0) != X {
+		t.Fatal("fromPair wrong")
+	}
+	if X.String() != "X" || D.String() != "D" || Dbar.String() != "D'" {
+		t.Fatal("String wrong")
+	}
+}
+
+func TestConstantFaultInfeasible(t *testing.T) {
+	// A fault requiring a constant to take its opposite value is redundant.
+	c := circuit.New("k")
+	a := c.AddInput("a")
+	one := c.AddGate(circuit.Const1, "")
+	g := c.AddGate(circuit.And, "g", a, one)
+	c.MarkOutput(g)
+	// Branch fault: pin 1 (the constant) stuck at 1 is unexcitable.
+	res := Generate(c, faults.Fault{Node: g, Pin: 1, Stuck: true}, Options{})
+	if res.Status != Redundant {
+		t.Fatalf("const-equal stuck fault: %v", res.Status)
+	}
+}
+
+func TestGenerateAbortsOnTinyLimit(t *testing.T) {
+	// A hard redundant fault with backtrack limit 1 must abort (or prove
+	// redundancy if the space is that small), never loop.
+	c := circuit.New("t")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	d := c.AddInput("d")
+	g1 := c.AddGate(circuit.And, "g1", a, b)
+	g2 := c.AddGate(circuit.Or, "g2", a, g1)
+	g3 := c.AddGate(circuit.And, "g3", g2, d)
+	c.MarkOutput(g3)
+	res := Generate(c, faults.Fault{Node: g1, Pin: -1, Stuck: false}, Options{BacktrackLimit: 1})
+	if res.Status == Testable {
+		t.Fatalf("redundant fault reported testable")
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	if Testable.String() != "testable" || Redundant.String() != "redundant" || Aborted.String() != "aborted" {
+		t.Fatal("status strings wrong")
+	}
+}

@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"compsynth/internal/circuit"
+)
+
+func TestParseC17(t *testing.T) {
+	c, err := ParseString(C17, "c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Inputs != 5 || st.Outputs != 2 || st.Gates != 6 {
+		t.Fatalf("c17 stats = %v", st)
+	}
+	if st.Equiv2 != 6 {
+		t.Fatalf("c17 equiv2 = %d, want 6", st.Equiv2)
+	}
+	// Spot-check: all-ones input. 10=NAND(1,1)=0, 11=0, 16=NAND(1,0)=1,
+	// 19=NAND(0,1)=1, 22=NAND(0,1)=1, 23=NAND(1,1)=0.
+	out := c.Eval([]bool{true, true, true, true, true})
+	if out[0] != true || out[1] != false {
+		t.Fatalf("c17(11111) = %v", out)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	c, err := ParseString(C17, "c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := String(c)
+	c2, err := ParseString(text, "c17rt")
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, text)
+	}
+	// Exhaustive equivalence over 5 inputs.
+	for m := 0; m < 32; m++ {
+		in := make([]bool, 5)
+		for i := range in {
+			in[i] = m&(1<<i) != 0
+		}
+		a, b := c.Eval(in), c2.Eval(in)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("round trip differs at input %v output %d", in, j)
+			}
+		}
+	}
+}
+
+func TestParseOutOfOrderDecls(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(b)
+OUTPUT(f)
+f = NOT(g)
+g = AND(a, b)
+`
+	c, err := ParseString(src, "ooo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Eval([]bool{true, true})[0]; got != false {
+		t.Fatalf("NAND via out-of-order = %v", got)
+	}
+}
+
+func TestParseAllGateTypes(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(b)
+OUTPUT(o)
+g1 = AND(a, b)
+g2 = OR(a, b)
+g3 = NAND(a, b)
+g4 = NOR(a, b)
+g5 = XOR(a, b)
+g6 = XNOR(a, b)
+g7 = NOT(a)
+g8 = BUFF(b)
+g9 = CONST1()
+o = AND(g1, g2, g3, g4, g5, g6, g7, g8, g9)
+`
+	c, err := ParseString(src, "all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NumGates excludes constants: 9 logic gates; CONST1 is a separate node.
+	if c.NumGates() != 9 {
+		t.Fatalf("gates = %d, want 9", c.NumGates())
+	}
+	if c.NodeByName("g9") < 0 {
+		t.Fatal("constant node missing")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"dff", "INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n"},
+		{"unknown gate", "INPUT(a)\nOUTPUT(f)\nf = FROB(a)\n"},
+		{"undriven output", "INPUT(a)\nOUTPUT(zz)\n"},
+		{"redriven", "INPUT(a)\nOUTPUT(f)\nf = NOT(a)\nf = BUFF(a)\n"},
+		{"cycle", "INPUT(a)\nOUTPUT(f)\nf = AND(a, g)\ng = AND(a, f)\n"},
+		{"garbage", "INPUT(a)\nwat\n"},
+		{"dup input", "INPUT(a)\nINPUT(a)\nOUTPUT(a)\n"},
+	}
+	for _, c := range cases {
+		if _, err := ParseString(c.src, c.name); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestCommentsAndBlanks(t *testing.T) {
+	src := "# header\n\nINPUT(a)  # trailing\n\nOUTPUT(f)\nf = BUFF(a)\n"
+	c, err := ParseString(src, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Inputs) != 1 || len(c.Outputs) != 1 {
+		t.Fatal("comment handling broken")
+	}
+}
+
+func TestWriteUnnamedNodes(t *testing.T) {
+	c := circuit.New("gen")
+	a := c.AddInput("a")
+	g := c.AddGate(circuit.Not, "", a)
+	c.MarkOutput(g)
+	text := String(c)
+	if !strings.Contains(text, "NOT(a)") {
+		t.Fatalf("missing NOT: %s", text)
+	}
+	if _, err := ParseString(text, "rt"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutputFanoutAllowed(t *testing.T) {
+	// A PO line that also fans out internally (legal in ISCAS nets).
+	src := `
+INPUT(a)
+OUTPUT(f)
+OUTPUT(g)
+f = NOT(a)
+g = NOT(f)
+`
+	c, err := ParseString(src, "pofan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := c.Eval([]bool{false})
+	if out[0] != true || out[1] != false {
+		t.Fatalf("pofan eval = %v", out)
+	}
+}
+
+func TestAdder4Function(t *testing.T) {
+	c, err := ParseString(Adder4, "adder4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inputs in declaration order: a0..a3, b0..b3. Outputs: s0..s4.
+	for a := 0; a < 16; a++ {
+		for b := 0; b < 16; b++ {
+			in := make([]bool, 8)
+			for i := 0; i < 4; i++ {
+				in[i] = a&(1<<i) != 0
+				in[4+i] = b&(1<<i) != 0
+			}
+			out := c.Eval(in)
+			sum := 0
+			for i := 0; i < 5; i++ {
+				if out[i] {
+					sum |= 1 << i
+				}
+			}
+			if sum != a+b {
+				t.Fatalf("%d + %d = %d, adder says %d", a, b, a+b, sum)
+			}
+		}
+	}
+}

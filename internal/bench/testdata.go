@@ -1,0 +1,56 @@
+package bench
+
+// C17 is the classic ISCAS-85 c17 netlist (public domain), used throughout
+// the test suites and examples as a tiny known-good circuit.
+const C17 = `
+# c17
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+`
+
+// Adder4 is a 4-bit ripple-carry adder (a3..a0 + b3..b0 = s4 s3..s0), a
+// second known-good circuit with arithmetic (carry-chain) structure.
+const Adder4 = `
+# 4-bit ripple-carry adder
+INPUT(a0)
+INPUT(a1)
+INPUT(a2)
+INPUT(a3)
+INPUT(b0)
+INPUT(b1)
+INPUT(b2)
+INPUT(b3)
+OUTPUT(s0)
+OUTPUT(s1)
+OUTPUT(s2)
+OUTPUT(s3)
+OUTPUT(s4)
+s0 = XOR(a0, b0)
+c0 = AND(a0, b0)
+x1 = XOR(a1, b1)
+s1 = XOR(x1, c0)
+g1 = AND(a1, b1)
+p1 = AND(x1, c0)
+c1 = OR(g1, p1)
+x2 = XOR(a2, b2)
+s2 = XOR(x2, c1)
+g2 = AND(a2, b2)
+p2 = AND(x2, c1)
+c2 = OR(g2, p2)
+x3 = XOR(a3, b3)
+s3 = XOR(x3, c2)
+g3 = AND(a3, b3)
+p3 = AND(x3, c2)
+s4 = OR(g3, p3)
+`

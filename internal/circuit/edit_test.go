@@ -1,0 +1,150 @@
+package circuit
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRename(t *testing.T) {
+	c := New("t")
+	a := c.AddInput("a")
+	g := c.AddGate(Not, "g", a)
+	c.MarkOutput(g)
+	if !c.Rename(g, "out") {
+		t.Fatal("rename failed")
+	}
+	if c.NodeByName("out") != g || c.NodeByName("g") >= 0 {
+		t.Fatal("name map stale after rename")
+	}
+	// Renaming to an existing other name fails.
+	if c.Rename(g, "a") {
+		t.Fatal("rename onto existing name succeeded")
+	}
+	// Renaming to own name is a no-op success.
+	if !c.Rename(g, "out") {
+		t.Fatal("self-rename failed")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPreservePONames(t *testing.T) {
+	c := New("t")
+	a := c.AddInput("a")
+	g1 := c.AddGate(Not, "f", a)
+	c.MarkOutput(g1)
+	names := c.PONames()
+	// Replace the PO driver by new logic.
+	g2 := c.AddGate(Buf, "tmp", a)
+	c.ReplaceUses(g1, g2)
+	c.SweepDead()
+	c.PreservePONames(names)
+	if got := c.Nodes[c.Outputs[0]].Name; got != "f" {
+		t.Fatalf("PO name = %q, want f", got)
+	}
+}
+
+func TestSetFanin(t *testing.T) {
+	c := New("t")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	d := c.AddInput("d")
+	g := c.AddGate(And, "", a, b)
+	c.MarkOutput(g)
+	c.SetFanin(g, 1, d)
+	if got := c.Eval([]bool{true, false, true})[0]; !got {
+		t.Fatal("SetFanin did not rewire")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddFaninFront(t *testing.T) {
+	c := New("t")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	d := c.AddInput("d")
+	g := c.AddGate(And, "", a, b)
+	c.MarkOutput(g)
+	c.AddFaninFront(g, d)
+	if len(c.Nodes[g].Fanin) != 3 || c.Nodes[g].Fanin[0] != d {
+		t.Fatalf("fanin = %v", c.Nodes[g].Fanin)
+	}
+	if got := c.Eval([]bool{true, true, false})[0]; got {
+		t.Fatal("new fanin not effective")
+	}
+}
+
+func TestSweepDeadKeepsSharedLogic(t *testing.T) {
+	c := New("t")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	g1 := c.AddGate(And, "", a, b)
+	g2 := c.AddGate(Not, "", g1)
+	g3 := c.AddGate(Or, "", g1, a)
+	c.MarkOutput(g3)
+	// g2 is dead, g1 is shared and must stay.
+	if n := c.SweepDead(); n != 1 {
+		t.Fatalf("swept %d nodes, want 1", n)
+	}
+	if !c.Alive(g1) || c.Alive(g2) {
+		t.Fatal("wrong nodes swept")
+	}
+}
+
+func TestKillPanicsOnPODriver(t *testing.T) {
+	c := New("t")
+	a := c.AddInput("a")
+	g := c.AddGate(Not, "", a)
+	c.MarkOutput(g)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Kill(g)
+}
+
+func TestSimplifyNestedBuffers(t *testing.T) {
+	c := New("t")
+	a := c.AddInput("a")
+	b1 := c.AddGate(Buf, "", a)
+	b2 := c.AddGate(Buf, "", b1)
+	b3 := c.AddGate(Buf, "", b2)
+	c.MarkOutput(b3)
+	c.Simplify()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []bool{false, true} {
+		if c.Eval([]bool{v})[0] != v {
+			t.Fatal("buffer chain broken")
+		}
+	}
+	// At most the PO buffer remains.
+	if c.NumGates() > 1 {
+		t.Fatalf("%d gates remain after simplifying buffer chain", c.NumGates())
+	}
+}
+
+func TestSimplifyTerminates(t *testing.T) {
+	// Regression: a dead buffer must not keep Simplify spinning.
+	c := New("t")
+	a := c.AddInput("a")
+	buf := c.AddGate(Buf, "", a)
+	g := c.AddGate(Not, "", a)
+	_ = buf
+	c.MarkOutput(g)
+	done := make(chan struct{})
+	go func() {
+		c.Simplify()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Simplify did not terminate")
+	}
+}

@@ -1,0 +1,151 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStrashMergesDuplicates(t *testing.T) {
+	c := New("t")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	g1 := c.AddGate(And, "", a, b)
+	g2 := c.AddGate(And, "", b, a) // commutative duplicate
+	g3 := c.AddGate(Or, "", g1, g2)
+	c.MarkOutput(g3)
+	before := c.Eval([]bool{true, true})[0]
+	if n := c.Strash(); n != 1 {
+		t.Fatalf("merged %d, want 1", n)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Eval([]bool{true, true})[0] != before {
+		t.Fatal("strash changed function")
+	}
+	// The OR's two pins now reference the same node; Simplify dedups.
+	c.Simplify()
+	if c.Equiv2Count() != 1 {
+		t.Fatalf("equiv2 = %d, want 1 (single AND)", c.Equiv2Count())
+	}
+}
+
+func TestStrashCascades(t *testing.T) {
+	// Duplicate subtrees merge bottom-up in one pass.
+	c := New("t")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	x1 := c.AddGate(Nand, "", a, b)
+	x2 := c.AddGate(Nand, "", a, b)
+	y1 := c.AddGate(Not, "", x1)
+	y2 := c.AddGate(Not, "", x2)
+	o := c.AddGate(Xor, "", y1, y2)
+	c.MarkOutput(o)
+	if n := c.Strash(); n != 2 {
+		t.Fatalf("merged %d, want 2 (NAND pair, then NOT pair)", n)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrashRespectsPinOrderForNonCommutative(t *testing.T) {
+	// NOT(a) and NOT(b) must not merge.
+	c := New("t")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	n1 := c.AddGate(Not, "", a)
+	n2 := c.AddGate(Not, "", b)
+	o := c.AddGate(And, "", n1, n2)
+	c.MarkOutput(o)
+	if n := c.Strash(); n != 0 {
+		t.Fatalf("merged %d distinct inverters", n)
+	}
+}
+
+func TestStrashPreservesPODriver(t *testing.T) {
+	c := New("t")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	g1 := c.AddGate(And, "g1", a, b)
+	g2 := c.AddGate(And, "po", a, b)
+	c.MarkOutput(g2)
+	n := c.AddGate(Not, "", g1)
+	c.MarkOutput(n)
+	c.Strash()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The PO driver keeps a live node; function intact.
+	out := c.Eval([]bool{true, true})
+	if out[0] != true || out[1] != false {
+		t.Fatalf("function changed: %v", out)
+	}
+}
+
+func TestStrashLeavesDistinctGateTypes(t *testing.T) {
+	c := New("t")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	g1 := c.AddGate(And, "", a, b)
+	g2 := c.AddGate(Nand, "", a, b)
+	o := c.AddGate(Or, "", g1, g2)
+	c.MarkOutput(o)
+	if n := c.Strash(); n != 0 {
+		t.Fatalf("merged %d across gate types", n)
+	}
+}
+
+// Property: structural hashing never changes the circuit function.
+func TestQuickStrashPreservesFunction(t *testing.T) {
+	f := func(seed int64) bool {
+		c := randomDAG(seed)
+		d := c.Clone()
+		d.Strash()
+		if d.Validate() != nil {
+			return false
+		}
+		for m := 0; m < 1<<len(c.Inputs); m++ {
+			in := make([]bool, len(c.Inputs))
+			for j := range in {
+				in[j] = m&(1<<j) != 0
+			}
+			a, b := c.Eval(in), d.Eval(in)
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomDAG builds a small random circuit without importing gen (which
+// would create an import cycle).
+func randomDAG(seed int64) *Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	c := New("q")
+	pool := []int{c.AddInput("a"), c.AddInput("b"), c.AddInput("c"), c.AddInput("d")}
+	types := []GateType{And, Or, Nand, Nor, Xor, Not}
+	for i := 0; i < 20; i++ {
+		t := types[rng.Intn(len(types))]
+		if t == Not {
+			pool = append(pool, c.AddGate(Not, "", pool[rng.Intn(len(pool))]))
+			continue
+		}
+		a := pool[rng.Intn(len(pool))]
+		b := pool[rng.Intn(len(pool))]
+		if a == b {
+			continue
+		}
+		pool = append(pool, c.AddGate(t, "", a, b))
+	}
+	c.MarkOutput(pool[len(pool)-1])
+	c.MarkOutput(pool[len(pool)-2])
+	return c
+}

@@ -1,0 +1,449 @@
+package compare
+
+import (
+	"math/rand"
+	"testing"
+
+	"compsynth/internal/circuit"
+	"compsynth/internal/logic"
+)
+
+// permutations returns all permutations of 0..n-1.
+func permutations(n int) [][]int {
+	if n == 0 {
+		return [][]int{{}}
+	}
+	var out [][]int
+	for _, sub := range permutations(n - 1) {
+		for pos := 0; pos <= len(sub); pos++ {
+			p := make([]int, 0, n)
+			p = append(p, sub[:pos]...)
+			p = append(p, n-1)
+			p = append(p, sub[pos:]...)
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// bruteIsComparison checks Definition 1 directly over all permutations.
+func bruteIsComparison(f logic.TT, allowComplement bool) bool {
+	if f.IsConst(false) {
+		return false
+	}
+	for _, p := range permutations(f.Vars()) {
+		g := f.Permute(p)
+		if _, _, ok := g.IsInterval(); ok {
+			return true
+		}
+		if allowComplement {
+			if _, _, ok := g.Not().IsInterval(); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func TestIdentifyPaperExample(t *testing.T) {
+	// Section 3.1: f2 with onset {1,5,6,9,10,14} is a comparison function
+	// with x1=y4, x2=y3, x3=y2, x4=y1, L=5, U=10.
+	f := logic.FromMinterms(4, []int{1, 5, 6, 9, 10, 14})
+	s, ok := Identify(f)
+	if !ok {
+		t.Fatal("paper example not identified")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Table().Equal(f) {
+		t.Fatalf("spec %v does not reconstruct f", s)
+	}
+	if s.U-s.L != 5 {
+		// Any valid realization covers 6 minterms; interval width is fixed.
+		t.Fatalf("interval [%d,%d] should span 6 minterms", s.L, s.U)
+	}
+}
+
+func TestIdentifyXorIsComparison(t *testing.T) {
+	// XOR of 2 vars has onset {1,2}: the interval [1,2].
+	f := logic.Var(2, 1).Xor(logic.Var(2, 2))
+	s, ok := Identify(f)
+	if !ok {
+		t.Fatal("2-input XOR should be a comparison function")
+	}
+	if s.L != 1 || s.U != 2 {
+		t.Fatalf("XOR bounds = [%d,%d], want [1,2]", s.L, s.U)
+	}
+}
+
+func TestIdentifyComplementCases(t *testing.T) {
+	// XNOR onset {0,3} is not an interval under any permutation, but its
+	// complement is.
+	f := logic.Var(2, 1).Xor(logic.Var(2, 2)).Not()
+	if _, ok := Identify(f); ok {
+		t.Fatal("XNOR onset should not be an interval")
+	}
+	s, ok := IdentifyBest(f)
+	if !ok || !s.Complement {
+		t.Fatalf("XNOR should identify via complement, got %v ok=%v", s, ok)
+	}
+	if !s.Table().Equal(f) {
+		t.Fatal("complemented spec does not reconstruct XNOR")
+	}
+}
+
+func TestIdentifyConstants(t *testing.T) {
+	if _, ok := Identify(logic.Const(3, false)); ok {
+		t.Fatal("const0 identified as comparison function")
+	}
+	s, ok := Identify(logic.Const(3, true))
+	if !ok || s.L != 0 || s.U != 7 {
+		t.Fatalf("const1: %v ok=%v", s, ok)
+	}
+}
+
+func TestIdentifySingleCube(t *testing.T) {
+	// Section 3.2.2 example: f(y1,y2,y3) = y1 y3 has a single prime
+	// implicant; all variables in its support become free.
+	f := logic.Var(3, 1).And(logic.Var(3, 3))
+	s, ok := Identify(f)
+	if !ok {
+		t.Fatal("cube not identified")
+	}
+	if !s.Table().Equal(f) {
+		t.Fatal("cube spec wrong")
+	}
+	if s.FreeCount() < 2 {
+		t.Fatalf("cube should have >= 2 free vars, got %d (spec %v)", s.FreeCount(), s)
+	}
+	if s.GeqPresent() || s.LeqPresent() {
+		t.Fatalf("cube should need no blocks: %v", s)
+	}
+}
+
+func TestIdentifyMatchesBruteForceN3(t *testing.T) {
+	for bitsv := 0; bitsv < 256; bitsv++ {
+		f := logic.New(3)
+		for m := 0; m < 8; m++ {
+			if bitsv&(1<<m) != 0 {
+				f.Set(m, true)
+			}
+		}
+		want := bruteIsComparison(f, false)
+		s, got := Identify(f)
+		if got != want {
+			t.Fatalf("f=%s: Identify=%v brute=%v", f, got, want)
+		}
+		if got {
+			if err := s.Validate(); err != nil {
+				t.Fatalf("f=%s: %v", f, err)
+			}
+			if !s.Table().Equal(f) {
+				t.Fatalf("f=%s: table mismatch for %v", f, s)
+			}
+		}
+		wantC := bruteIsComparison(f, true)
+		sc, gotC := IdentifyBest(f)
+		if gotC != wantC {
+			t.Fatalf("f=%s: IdentifyBest=%v brute=%v", f, gotC, wantC)
+		}
+		if gotC && !sc.Table().Equal(f) {
+			t.Fatalf("f=%s: best table mismatch", f)
+		}
+	}
+}
+
+func TestIdentifyMatchesBruteForceN4Sampled(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 1500; trial++ {
+		f := logic.New(4)
+		// Bias toward small onsets, where comparison functions live.
+		k := 1 + rng.Intn(8)
+		for j := 0; j < k; j++ {
+			f.Set(rng.Intn(16), true)
+		}
+		want := bruteIsComparison(f, false)
+		s, got := Identify(f)
+		if got != want {
+			t.Fatalf("f=%s: Identify=%v brute=%v", f, got, want)
+		}
+		if got && !s.Table().Equal(f) {
+			t.Fatalf("f=%s: table mismatch", f)
+		}
+	}
+}
+
+func TestIdentifyAllSpecsValid(t *testing.T) {
+	f := logic.FromInterval(4, 5, 10)
+	specs := IdentifyAll(f, 32)
+	if len(specs) == 0 {
+		t.Fatal("no specs for a direct interval")
+	}
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if !s.Table().Equal(f) {
+			t.Fatalf("spec %v does not realize f", s)
+		}
+	}
+}
+
+func TestIdentifySamplingFindsPaperExample(t *testing.T) {
+	f := logic.FromMinterms(4, []int{1, 5, 6, 9, 10, 14})
+	s, ok := IdentifySampling(f, 200, nil)
+	if !ok {
+		t.Fatal("sampling failed on the paper's example within 200 perms")
+	}
+	if !s.Table().Equal(f) {
+		t.Fatal("sampled spec wrong")
+	}
+}
+
+func TestIdentifySamplingRejectsNonComparison(t *testing.T) {
+	// 3-input majority has onset {3,5,6,7}: {3,5,6,7} misses 4 under the
+	// identity; by symmetry no permutation helps; complement {0,1,2,4} is
+	// not an interval either.
+	f := logic.FromMinterms(3, []int{3, 5, 6, 7})
+	if _, ok := IdentifySampling(f, 200, nil); ok {
+		t.Fatal("majority sampled as comparison function")
+	}
+	if _, ok := IdentifyBest(f); ok {
+		t.Fatal("majority identified as comparison function")
+	}
+}
+
+// Property: any interval under any permutation is identified and
+// reconstructed exactly.
+func TestQuickIntervalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(5)
+		size := 1 << n
+		l := rng.Intn(size)
+		u := l + rng.Intn(size-l)
+		base := logic.FromInterval(n, l, u)
+		f := base.Permute(rng.Perm(n))
+		s, ok := Identify(f)
+		if !ok {
+			t.Fatalf("n=%d [%d,%d]: interval not identified", n, l, u)
+		}
+		if !s.Table().Equal(f) {
+			t.Fatalf("n=%d [%d,%d]: reconstruction failed", n, l, u)
+		}
+		if s.U-s.L != u-l {
+			t.Fatalf("interval width changed: [%d,%d] -> [%d,%d]", l, u, s.L, s.U)
+		}
+	}
+}
+
+func identitySpec(n, l, u int) Spec {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return Spec{N: n, Perm: p, L: l, U: u}
+}
+
+// TestBuildMatchesTable verifies, exhaustively over all bounds for n<=5, that
+// the built unit implements exactly the interval function — with and without
+// gate merging, and in complemented form.
+func TestBuildMatchesTable(t *testing.T) {
+	for n := 1; n <= 5; n++ {
+		for l := 0; l < 1<<n; l++ {
+			for u := l; u < 1<<n; u++ {
+				for _, merge := range []bool{false, true} {
+					s := identitySpec(n, l, u)
+					c := s.BuildStandalone("u", BuildOptions{Merge: merge})
+					if err := c.Validate(); err != nil {
+						t.Fatalf("n=%d [%d,%d] merge=%v: %v", n, l, u, merge, err)
+					}
+					want := s.Table()
+					for m := 0; m < 1<<n; m++ {
+						in := make([]bool, n)
+						for j := 0; j < n; j++ {
+							in[j] = m&(1<<(n-1-j)) != 0
+						}
+						if got := c.Eval(in)[0]; got != want.Get(m) {
+							t.Fatalf("n=%d [%d,%d] merge=%v m=%d: got %v", n, l, u, merge, m, got)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBuildComplemented(t *testing.T) {
+	s := identitySpec(3, 2, 5)
+	s.Complement = true
+	c := s.BuildStandalone("c", BuildOptions{Merge: true})
+	want := s.Table()
+	for m := 0; m < 8; m++ {
+		in := []bool{m&4 != 0, m&2 != 0, m&1 != 0}
+		if c.Eval(in)[0] != want.Get(m) {
+			t.Fatalf("complemented unit wrong at %d", m)
+		}
+	}
+}
+
+func TestBuildPermuted(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(4)
+		l := rng.Intn(1 << n)
+		u := l + rng.Intn(1<<n-l)
+		s := Spec{N: n, Perm: rng.Perm(n), L: l, U: u, Complement: rng.Intn(2) == 1}
+		c := s.BuildStandalone("p", BuildOptions{Merge: rng.Intn(2) == 1})
+		want := s.Table()
+		for m := 0; m < 1<<n; m++ {
+			in := make([]bool, n)
+			for j := 0; j < n; j++ {
+				in[j] = m&(1<<(n-1-j)) != 0
+			}
+			if c.Eval(in)[0] != want.Get(m) {
+				t.Fatalf("trial %d: %v wrong at minterm %d", trial, s, m)
+			}
+		}
+	}
+}
+
+// TestGateCostMatchesBuild cross-checks the analytic cost model against the
+// built unit, exhaustively for n<=5.
+func TestGateCostMatchesBuild(t *testing.T) {
+	for n := 1; n <= 5; n++ {
+		for l := 0; l < 1<<n; l++ {
+			for u := l; u < 1<<n; u++ {
+				s := identitySpec(n, l, u)
+				c := s.BuildStandalone("g", BuildOptions{Merge: true})
+				if got, want := c.Equiv2Count(), s.GateCost(); got != want {
+					t.Fatalf("n=%d [%d,%d]: built equiv2=%d analytic=%d", n, l, u, got, want)
+				}
+				// Merging must not change the equivalent-2-input count.
+				c2 := s.BuildStandalone("g2", BuildOptions{Merge: false})
+				if c2.Equiv2Count() != s.GateCost() {
+					t.Fatalf("n=%d [%d,%d]: unmerged equiv2 differs", n, l, u)
+				}
+			}
+		}
+	}
+}
+
+func TestFreeVariablesAndSpecialCases(t *testing.T) {
+	// Paper example: L=5=(0101), U=7=(0111): free = {x1, x2}.
+	s := identitySpec(4, 5, 7)
+	if s.FreeCount() != 2 {
+		t.Fatalf("FreeCount = %d, want 2", s.FreeCount())
+	}
+	if !s.GeqPresent() {
+		t.Fatal("L_F=01 nonzero: >= block expected")
+	}
+	if s.LeqPresent() {
+		t.Fatal("U_F=11 all ones: <= block must be omitted (Sec. 3.2.2)")
+	}
+	// Kp: free vars 1 path; x3: in geq iff suffix(L,3)=01 != 0 -> yes; x4
+	// likewise; no leq paths.
+	for i, want := range map[int]int{1: 1, 2: 1, 3: 1, 4: 1} {
+		if got := s.Kp(i); got != want {
+			t.Fatalf("Kp(%d) = %d, want %d", i, got, want)
+		}
+	}
+	// L=12=(1100), U=15: geq only, x3 and x4 omitted entirely.
+	s2 := identitySpec(4, 12, 15)
+	if s2.FreeCount() != 2 {
+		// bits of L and U agree on x1,x2 (11); differ after.
+		t.Fatalf("FreeCount(12,15) = %d, want 2", s2.FreeCount())
+	}
+	if s2.GeqPresent() || s2.LeqPresent() {
+		t.Fatal("[12,15] is a single cube: no blocks")
+	}
+	if s2.Kp(3) != 0 || s2.Kp(4) != 0 {
+		t.Fatal("x3,x4 should have no paths in [12,15]")
+	}
+}
+
+func TestKpMatchesBuiltPaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(5)
+		l := rng.Intn(1 << n)
+		u := l + rng.Intn(1<<n-l)
+		s := identitySpec(n, l, u)
+		for _, merge := range []bool{false, true} {
+			c := s.BuildStandalone("k", BuildOptions{Merge: merge})
+			counts := countPathsPerInput(c)
+			for j := 0; j < n; j++ {
+				if counts[j] != s.Kp(j+1) {
+					t.Fatalf("[%d,%d] n=%d merge=%v: paths from y%d = %d, Kp = %d\n%v",
+						l, u, n, merge, j+1, counts[j], s.Kp(j+1), s)
+				}
+			}
+		}
+	}
+}
+
+// countPathsPerInput counts PI->PO paths from input j (0-based input order)
+// by memoized traversal toward the outputs.
+func countPathsPerInput(c *circuit.Circuit) []int {
+	poUses := map[int]int{}
+	for _, o := range c.Outputs {
+		poUses[o]++
+	}
+	memo := map[int]int{}
+	var count func(id int) int
+	count = func(id int) int {
+		if v, ok := memo[id]; ok {
+			return v
+		}
+		n := poUses[id]
+		for _, f := range c.Fanouts(id) {
+			n += count(f)
+		}
+		memo[id] = n
+		return n
+	}
+	out := make([]int, len(c.Inputs))
+	for j, in := range c.Inputs {
+		out[j] = count(in)
+	}
+	return out
+}
+
+// The exact search must stay fast and correct at the largest K used (6-7).
+func TestIdentifyLargeN(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for _, n := range []int{6, 7} {
+		for trial := 0; trial < 25; trial++ {
+			l := rng.Intn(1 << n)
+			u := l + rng.Intn(1<<n-l)
+			f := logic.FromInterval(n, l, u).Permute(rng.Perm(n))
+			s, ok := Identify(f)
+			if !ok {
+				t.Fatalf("n=%d [%d,%d]: not identified", n, l, u)
+			}
+			if !s.Table().Equal(f) {
+				t.Fatalf("n=%d: reconstruction failed", n)
+			}
+		}
+		// Non-comparison functions at large n must be rejected quickly:
+		// parity is never an interval under any permutation.
+		parity := logic.New(n)
+		for m := 0; m < 1<<n; m++ {
+			if popcountInt(m)%2 == 1 {
+				parity.Set(m, true)
+			}
+		}
+		if _, ok := IdentifyBest(parity); ok {
+			t.Fatalf("n=%d parity identified as comparison function", n)
+		}
+	}
+}
+
+func popcountInt(x int) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}

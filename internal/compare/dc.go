@@ -1,0 +1,189 @@
+package compare
+
+import (
+	"compsynth/internal/logic"
+)
+
+// Don't-care-aware identification — the paper's Section 6 extension (1):
+// input combinations that can never occur at a subcircuit's inputs
+// (satisfiability don't-cares) may be assigned freely, so more subcircuits
+// become comparison functions and the resulting units are testable in
+// context.
+//
+// IdentifyDC finds a permutation and bounds such that every REQUIRED
+// minterm (on and care) lies inside [L, U] and no FORBIDDEN minterm
+// (off and care) does. The recursion mirrors identify.go's exact search,
+// relaxed cube-by-cube: "cofactor is constant" conditions weaken to
+// "cofactor has no required / no forbidden care minterms". Because the
+// relaxed search may accept borderline orders, the resulting spec is
+// re-verified against the care set before being returned.
+
+// IdentifyDC returns a Spec realizing some completion of the incompletely
+// specified function (on, care): unit output matches `on` on every minterm
+// where care is 1. Minterms outside care may take either value. The care
+// set must not be empty of required minterms (use Simplify for constants).
+func IdentifyDC(on, care logic.TT) (Spec, bool) {
+	if on.Vars() != care.Vars() {
+		panic("compare: on/care variable mismatch")
+	}
+	req := on.And(care)
+	forb := on.Not().And(care)
+	if req.IsConst(false) || forb.IsConst(false) {
+		// Completable as a constant; not a unit replacement.
+		return Spec{}, false
+	}
+	n := on.Vars()
+	vars := make([]int, n)
+	for i := range vars {
+		vars[i] = i
+	}
+	var found Spec
+	ok := false
+	budget := 200000 // caps pathological searches; plenty for n <= 7
+	dcInterval(&budget, req, forb, vars, func(perm []int) bool {
+		if s, valid := specFromPerm(req, forb, perm, false); valid {
+			found, ok = s, true
+			return false
+		}
+		return true
+	})
+	if ok {
+		return found, true
+	}
+	// Complemented output: the offset interval.
+	dcInterval(&budget, forb, req, vars, func(perm []int) bool {
+		if s, valid := specFromPerm(forb, req, perm, true); valid {
+			found, ok = s, true
+			return false
+		}
+		return true
+	})
+	return found, ok
+}
+
+// specFromPerm derives the tightest bounds for a permutation and verifies
+// them against the forbidden set (the safety net for the relaxed search).
+func specFromPerm(req, forb logic.TT, perm []int, complement bool) (Spec, bool) {
+	n := req.Vars()
+	pr := req.Permute(perm)
+	pf := forb.Permute(perm)
+	lo, hi, ok := pr.OnsetBounds()
+	if !ok {
+		return Spec{}, false
+	}
+	// No forbidden minterm may fall inside [lo, hi].
+	if !pf.And(logic.FromInterval(n, lo, hi)).IsConst(false) {
+		return Spec{}, false
+	}
+	return Spec{N: n, Perm: append([]int(nil), perm...), L: lo, U: hi, Complement: complement}, true
+}
+
+// dcInterval enumerates variable orders under which the required set can be
+// covered by an interval avoiding the forbidden set. emit returns false to
+// stop. Returns false when aborted.
+func dcInterval(budget *int, req, forb logic.TT, vars []int, emit func(perm []int) bool) bool {
+	*budget--
+	if *budget <= 0 {
+		return false
+	}
+	k := req.Vars()
+	if k == 0 {
+		return emit(nil)
+	}
+	if req.IsConst(false) {
+		// Any order works if some point avoids forb; leave the remaining
+		// order as-is and let verification decide.
+		return emit(append([]int(nil), vars...))
+	}
+	for p := 0; p < k; p++ {
+		r0, r1 := req.Cofactor(p+1, false), req.Cofactor(p+1, true)
+		f0, f1 := forb.Cofactor(p+1, false), forb.Cofactor(p+1, true)
+		rest := restVars(vars, p)
+		if r1.IsConst(false) {
+			// Interval can live in the lower half.
+			if !dcInterval(budget, r0, f0, rest, func(perm []int) bool {
+				return emit(prepend(vars[p], perm))
+			}) {
+				return false
+			}
+		}
+		if r0.IsConst(false) {
+			if !dcInterval(budget, r1, f1, rest, func(perm []int) bool {
+				return emit(prepend(vars[p], perm))
+			}) {
+				return false
+			}
+		}
+		if !r0.IsConst(false) && !r1.IsConst(false) {
+			// Spanning: lower half is a suffix, upper half a prefix, under
+			// a common order.
+			if !dcSplit(budget, r0, f0, r1, f1, rest, func(perm []int) bool {
+				return emit(prepend(vars[p], perm))
+			}) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// dcSplit finds common orders making (rs, fs) coverable by a suffix and
+// (rp, fp) by a prefix.
+func dcSplit(budget *int, rs, fs, rp, fp logic.TT, vars []int, emit func(perm []int) bool) bool {
+	*budget--
+	if *budget <= 0 {
+		return false
+	}
+	k := rs.Vars()
+	if k == 0 {
+		// Single point each: suffix must include any required point and may
+		// exclude a forbidden one only by being empty — defer to the
+		// verifier.
+		return emit(nil)
+	}
+	sFree := fs.IsConst(false) // suffix side unconstrained by forbidden
+	pFree := fp.IsConst(false)
+	if sFree && pFree {
+		return emit(append([]int(nil), vars...))
+	}
+	for p := 0; p < k; p++ {
+		rs0, rs1 := rs.Cofactor(p+1, false), rs.Cofactor(p+1, true)
+		fs0, fs1 := fs.Cofactor(p+1, false), fs.Cofactor(p+1, true)
+		rp0, rp1 := rp.Cofactor(p+1, false), rp.Cofactor(p+1, true)
+		fp0, fp1 := fp.Cofactor(p+1, false), fp.Cofactor(p+1, true)
+		rest := restVars(vars, p)
+
+		// Suffix side, l-bit = 0: whole upper half inside the suffix, so
+		// no forbidden minterms may live there; lower half recurses.
+		// l-bit = 1: no required minterms in the lower half.
+		// Prefix side mirrored.
+		type sideChoice struct {
+			ok   bool
+			r, f logic.TT
+		}
+		sChoices := []sideChoice{
+			{fs1.IsConst(false), rs0, fs0},
+			{rs0.IsConst(false), rs1, fs1},
+		}
+		pChoices := []sideChoice{
+			{fp0.IsConst(false), rp1, fp1},
+			{rp1.IsConst(false), rp0, fp0},
+		}
+		for _, sc := range sChoices {
+			if !sc.ok {
+				continue
+			}
+			for _, pc := range pChoices {
+				if !pc.ok {
+					continue
+				}
+				if !dcSplit(budget, sc.r, sc.f, pc.r, pc.f, rest, func(perm []int) bool {
+					return emit(prepend(vars[p], perm))
+				}) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,141 @@
+package compare
+
+import (
+	"math/rand"
+	"testing"
+
+	"compsynth/internal/logic"
+)
+
+// The DC invariant: the realized function agrees with `on` wherever care=1.
+func checkDCSpec(t *testing.T, on, care logic.TT, s Spec) {
+	t.Helper()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Table()
+	for m := 0; m < on.Size(); m++ {
+		if care.Get(m) && got.Get(m) != on.Get(m) {
+			t.Fatalf("spec %v disagrees with care minterm %d", s, m)
+		}
+	}
+}
+
+func TestIdentifyDCFullySpecifiedMatchesExact(t *testing.T) {
+	// With care = const1, DC identification must accept exactly the
+	// comparison functions (checked exhaustively at n=3).
+	care := logic.Const(3, true)
+	for bits := 1; bits < 255; bits++ {
+		f := logic.New(3)
+		for m := 0; m < 8; m++ {
+			if bits&(1<<m) != 0 {
+				f.Set(m, true)
+			}
+		}
+		_, exact := IdentifyBest(f)
+		s, dc := IdentifyDC(f, care)
+		if exact != dc {
+			t.Fatalf("f=%s: exact=%v dc=%v", f, exact, dc)
+		}
+		if dc {
+			checkDCSpec(t, f, care, s)
+		}
+	}
+}
+
+func TestIdentifyDCEnablesMajority(t *testing.T) {
+	// Majority of 3 is not a comparison function, but excluding minterm 4
+	// from the care set makes the required onset {3,5,6,7} coverable by
+	// the interval [3,7] under the identity order.
+	maj := logic.FromMinterms(3, []int{3, 5, 6, 7})
+	care := logic.Const(3, true)
+	care.Set(4, false)
+	s, ok := IdentifyDC(maj, care)
+	if !ok {
+		t.Fatal("DC identification failed on majority with minterm 4 as don't-care")
+	}
+	checkDCSpec(t, maj, care, s)
+}
+
+func TestIdentifyDCRandomInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	identified := 0
+	for trial := 0; trial < 400; trial++ {
+		n := 2 + rng.Intn(4)
+		on := logic.New(n)
+		care := logic.New(n)
+		for m := 0; m < 1<<n; m++ {
+			if rng.Intn(2) == 1 {
+				on.Set(m, true)
+			}
+			if rng.Intn(4) != 0 { // 75% care density
+				care.Set(m, true)
+			}
+		}
+		if s, ok := IdentifyDC(on, care); ok {
+			identified++
+			checkDCSpec(t, on, care, s)
+		}
+	}
+	if identified == 0 {
+		t.Fatal("DC identification never succeeded on random inputs")
+	}
+}
+
+func TestIdentifyDCSupersetOfExact(t *testing.T) {
+	// Anything the exact search identifies, the DC search must too (with
+	// full care) — sampled at n=4.
+	rng := rand.New(rand.NewSource(66))
+	care := logic.Const(4, true)
+	for trial := 0; trial < 300; trial++ {
+		l := rng.Intn(16)
+		u := l + rng.Intn(16-l)
+		f := logic.FromInterval(4, l, u).Permute(rng.Perm(4))
+		if f.IsConst(false) || f.IsConst(true) {
+			continue
+		}
+		if _, ok := IdentifyDC(f, care); !ok {
+			t.Fatalf("DC search missed a plain interval function %s", f)
+		}
+	}
+}
+
+func TestIdentifyDCMoreDontCaresNeverHurt(t *testing.T) {
+	// Growing the don't-care set can only help: sampled monotonicity.
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 200; trial++ {
+		n := 3
+		on := logic.New(n)
+		for m := 0; m < 8; m++ {
+			if rng.Intn(2) == 1 {
+				on.Set(m, true)
+			}
+		}
+		if on.IsConst(false) || on.IsConst(true) {
+			continue
+		}
+		careBig := logic.Const(n, true)
+		careSmall := careBig.Clone()
+		careSmall.Set(rng.Intn(8), false)
+		// Skip relaxations that complete to a constant (rejected by design).
+		if on.And(careSmall).IsConst(false) || on.Not().And(careSmall).IsConst(false) {
+			continue
+		}
+		_, okFull := IdentifyDC(on, careBig)
+		_, okRelaxed := IdentifyDC(on, careSmall)
+		if okFull && !okRelaxed {
+			// The relaxed problem is strictly easier; this must not happen.
+			t.Fatalf("trial %d: shrinking the care set lost a solution (on=%s)", trial, on)
+		}
+	}
+}
+
+func TestIdentifyDCConstCompletable(t *testing.T) {
+	// When the required or forbidden set is empty the function completes
+	// to a constant and is rejected (constants are folded, not built).
+	on := logic.FromMinterms(3, []int{1, 2})
+	care := logic.FromMinterms(3, []int{1, 2}) // only onset minterms matter
+	if _, ok := IdentifyDC(on, care); ok {
+		t.Fatal("constant-completable function should be rejected")
+	}
+}

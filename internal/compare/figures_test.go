@@ -1,0 +1,190 @@
+package compare
+
+import (
+	"testing"
+
+	"compsynth/internal/circuit"
+)
+
+// These tests pin the structures of the paper's Figures 1-6.
+
+// gateCounts tallies live gates by type.
+func gateCounts(c *circuit.Circuit) map[circuit.GateType]int {
+	m := map[circuit.GateType]int{}
+	for _, nd := range c.Nodes {
+		if nd != nil && c.Alive(nd.ID) && nd.Type != circuit.Input {
+			m[nd.Type]++
+		}
+	}
+	return m
+}
+
+// faninTypes returns the gate types feeding node id.
+func faninTypes(c *circuit.Circuit, id int) []circuit.GateType {
+	var ts []circuit.GateType
+	for _, f := range c.Nodes[id].Fanin {
+		ts = append(ts, c.Nodes[f].Type)
+	}
+	return ts
+}
+
+func TestFigure3aGeq3Block(t *testing.T) {
+	// >=3 over [3,15]: OR(x1, OR(x2, AND(x3,x4))) as a 2-input chain.
+	s := identitySpec(4, 3, 15)
+	c := s.BuildStandalone("f3a", BuildOptions{Merge: false})
+	got := gateCounts(c)
+	if got[circuit.Or] != 2 || got[circuit.And] != 1 || got[circuit.Not] != 0 {
+		t.Fatalf("Figure 3(a) structure: %v", got)
+	}
+	if c.Depth() != 3 {
+		t.Fatalf("Figure 3(a) depth = %d, want 3", c.Depth())
+	}
+}
+
+func TestFigure3bGeq12Block(t *testing.T) {
+	// >=12 over [12,15]: the trailing-zero gates are omitted; the block is
+	// the single gate AND(x1,x2).
+	s := identitySpec(4, 12, 15)
+	c := s.BuildStandalone("f3b", BuildOptions{Merge: false})
+	got := gateCounts(c)
+	if got[circuit.And] != 1 || got[circuit.Or] != 0 || got[circuit.Not] != 0 {
+		t.Fatalf("Figure 3(b) structure: %v", got)
+	}
+	out := c.Outputs[0]
+	if len(c.Nodes[out].Fanin) != 2 {
+		t.Fatalf("Figure 3(b): output gate fanin %v", c.Nodes[out].Fanin)
+	}
+}
+
+func TestFigure3cLeq12Block(t *testing.T) {
+	// <=12 over [0,12]: OR(!x1, OR(!x2, AND(!x3,!x4))).
+	s := identitySpec(4, 0, 12)
+	c := s.BuildStandalone("f3c", BuildOptions{Merge: false})
+	got := gateCounts(c)
+	if got[circuit.Or] != 2 || got[circuit.And] != 1 || got[circuit.Not] != 4 {
+		t.Fatalf("Figure 3(c) structure: %v", got)
+	}
+}
+
+func TestFigure3dLeq3Block(t *testing.T) {
+	// <=3 over [0,3]: trailing-one gates omitted; AND(!x1,!x2).
+	s := identitySpec(4, 0, 3)
+	c := s.BuildStandalone("f3d", BuildOptions{Merge: false})
+	got := gateCounts(c)
+	if got[circuit.And] != 1 || got[circuit.Or] != 0 || got[circuit.Not] != 2 {
+		t.Fatalf("Figure 3(d) structure: %v", got)
+	}
+}
+
+func TestFigure4Geq7Merged(t *testing.T) {
+	// >=7 with merging: OR(x1, AND(x2,x3,x4)) — the three consecutive AND
+	// gates merge into one 3-input AND.
+	s := identitySpec(4, 7, 15)
+	c := s.BuildStandalone("f4", BuildOptions{Merge: true})
+	got := gateCounts(c)
+	if got[circuit.Or] != 1 || got[circuit.And] != 1 {
+		t.Fatalf("Figure 4 structure: %v", got)
+	}
+	out := c.Outputs[0]
+	if c.Nodes[out].Type != circuit.Or {
+		t.Fatalf("Figure 4 output should be OR, got %v", c.Nodes[out].Type)
+	}
+	for _, f := range c.Nodes[out].Fanin {
+		if c.Nodes[f].Type == circuit.And && len(c.Nodes[f].Fanin) != 3 {
+			t.Fatalf("Figure 4 AND should be 3-input, got %d", len(c.Nodes[f].Fanin))
+		}
+	}
+	if c.Depth() != 2 {
+		t.Fatalf("Figure 4 depth = %d, want 2", c.Depth())
+	}
+}
+
+func TestFigure1Unit(t *testing.T) {
+	// The comparison unit for L=5, U=10 over 4 inputs: both blocks feed the
+	// output AND; every input has at most two paths to the output.
+	s := identitySpec(4, 5, 10)
+	c := s.BuildStandalone("f1", BuildOptions{Merge: false})
+	out := c.Outputs[0]
+	if c.Nodes[out].Type != circuit.And || len(c.Nodes[out].Fanin) != 2 {
+		t.Fatalf("Figure 1 output gate: %v(%d fanins)",
+			c.Nodes[out].Type, len(c.Nodes[out].Fanin))
+	}
+	if !s.GeqPresent() || !s.LeqPresent() {
+		t.Fatal("Figure 1 should have both blocks")
+	}
+	counts := countPathsPerInput(c)
+	for j, n := range counts {
+		if n > 2 {
+			t.Fatalf("input y%d has %d paths, unit bound is 2", j+1, n)
+		}
+	}
+}
+
+func TestFigure5FreeVariableUnit(t *testing.T) {
+	// L=5=(0101), U=7=(0111): x1,x2 free. Output AND is driven by !x1, x2
+	// and the >=L_F block; the <=U_F block is omitted.
+	s := identitySpec(4, 5, 7)
+	c := s.BuildStandalone("f5", BuildOptions{Merge: false})
+	out := c.Outputs[0]
+	if c.Nodes[out].Type != circuit.And || len(c.Nodes[out].Fanin) != 3 {
+		t.Fatalf("Figure 5 output gate: %v(%d)", c.Nodes[out].Type, len(c.Nodes[out].Fanin))
+	}
+	types := faninTypes(c, out)
+	hasNot, hasInput, hasOr := false, false, false
+	for _, ty := range types {
+		switch ty {
+		case circuit.Not:
+			hasNot = true
+		case circuit.Input:
+			hasInput = true
+		case circuit.Or:
+			hasOr = true
+		}
+	}
+	if !hasNot || !hasInput || !hasOr {
+		t.Fatalf("Figure 5 output fanin types: %v", types)
+	}
+	// Free variables have exactly one path to the output.
+	counts := countPathsPerInput(c)
+	if counts[0] != 1 || counts[1] != 1 {
+		t.Fatalf("free variable path counts: %v", counts)
+	}
+}
+
+func TestUnitPathBoundHolds(t *testing.T) {
+	// "In a comparison unit there are at most two paths from any input to
+	// the output" — exhaustively for all bounds, n<=5, merge on and off.
+	for n := 1; n <= 5; n++ {
+		for l := 0; l < 1<<n; l++ {
+			for u := l; u < 1<<n; u++ {
+				s := identitySpec(n, l, u)
+				for _, merge := range []bool{false, true} {
+					c := s.BuildStandalone("b", BuildOptions{Merge: merge})
+					for j, cnt := range countPathsPerInput(c) {
+						if cnt > 2 {
+							t.Fatalf("n=%d [%d,%d] merge=%v: input %d has %d paths",
+								n, l, u, merge, j, cnt)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLongestPathBound(t *testing.T) {
+	// "The longest path through a comparison block has at most n two-input
+	// gates." With the output AND and an optional output inverter the unit
+	// depth (unmerged) is bounded by n+2.
+	for n := 1; n <= 6; n++ {
+		for trial := 0; trial < 50; trial++ {
+			l := trial % (1 << n)
+			u := l + (trial*7)%(1<<n-l)
+			s := identitySpec(n, l, u)
+			c := s.BuildStandalone("d", BuildOptions{Merge: false})
+			if c.Depth() > n+2 {
+				t.Fatalf("n=%d [%d,%d]: depth %d exceeds n+2", n, l, u, c.Depth())
+			}
+		}
+	}
+}

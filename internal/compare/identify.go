@@ -1,0 +1,306 @@
+package compare
+
+import (
+	"math/rand"
+
+	"compsynth/internal/logic"
+)
+
+// Identification of comparison functions.
+//
+// The naive method of Section 3.4 tries all n! permutations at O(2^n) each.
+// The exact search below removes the n! factor the way the paper's
+// Hamiltonian-path remark suggests: it picks the most significant variable
+// first and recurses on the cofactors, using the fact that an interval onset
+// decomposes as
+//
+//	f1 = 0            and f0 an interval, or
+//	f0 = 0            and f1 an interval, or
+//	f0 a suffix (>=L) and f1 a prefix (<=U) over a COMMON remaining order.
+//
+// Suffix and prefix sets decompose similarly, so inconsistent orders are
+// pruned immediately instead of being enumerated.
+
+// Identify returns a Spec for f if f is a comparison function with its
+// onset forming the interval (Complement = false). The constant-0 function
+// is not a comparison function; constant-1 is (the full interval).
+func Identify(f logic.TT) (Spec, bool) {
+	var found Spec
+	ok := false
+	enumerate(f, false, func(s Spec) bool {
+		found, ok = s, true
+		return false // stop at the first spec
+	})
+	return found, ok
+}
+
+// IdentifyBest tries the onset first and, failing that, the offset: if the
+// complement of f is a comparison function, f is implemented as a comparison
+// unit followed by an inverter (Complement = true), as done in the paper's
+// experiments.
+func IdentifyBest(f logic.TT) (Spec, bool) {
+	if f.IsConst(false) || f.IsConst(true) {
+		// Constants are not implemented as units; resynthesis folds them.
+		if f.IsConst(true) {
+			return Identify(f)
+		}
+		return Spec{}, false
+	}
+	if s, ok := Identify(f); ok {
+		return s, true
+	}
+	var found Spec
+	ok := false
+	enumerate(f.Not(), true, func(s Spec) bool {
+		found, ok = s, true
+		return false
+	})
+	return found, ok
+}
+
+// IdentifyAll enumerates up to limit distinct Specs realizing f (onset
+// forms, then complemented forms). Useful for picking the cheapest unit.
+func IdentifyAll(f logic.TT, limit int) []Spec {
+	var specs []Spec
+	seen := map[string]bool{}
+	add := func(s Spec) bool {
+		k := s.String()
+		if !seen[k] {
+			seen[k] = true
+			specs = append(specs, s)
+		}
+		return len(specs) < limit
+	}
+	enumerate(f, false, add)
+	if len(specs) < limit && !f.IsConst(false) && !f.IsConst(true) {
+		enumerate(f.Not(), true, add)
+	}
+	return specs
+}
+
+// enumerate calls emit for every (perm, L, U) realization of f's onset as an
+// interval. emit returns false to stop. complement is recorded in the Spec.
+func enumerate(f logic.TT, complement bool, emit func(Spec) bool) {
+	n := f.Vars()
+	vars := make([]int, n)
+	for i := range vars {
+		vars[i] = i
+	}
+	searchInterval(f, vars, func(perm []int, l, u int) bool {
+		s := Spec{N: n, Perm: append([]int(nil), perm...), L: l, U: u, Complement: complement}
+		return emit(s)
+	})
+}
+
+// searchInterval enumerates orders making f's onset the interval [L,U].
+// vars maps current positions (0-based) to original indices. emit returns
+// false to abort the whole search; searchInterval returns false when aborted.
+func searchInterval(f logic.TT, vars []int, emit func(perm []int, l, u int) bool) bool {
+	k := f.Vars()
+	if f.IsConst(false) {
+		return true // empty onset: not an interval
+	}
+	if f.IsConst(true) {
+		return emit(append([]int(nil), vars...), 0, 1<<k-1)
+	}
+	// k >= 1 here since non-constant.
+	for p := 0; p < k; p++ {
+		f0 := f.Cofactor(p+1, false)
+		f1 := f.Cofactor(p+1, true)
+		rest := restVars(vars, p)
+		half := 1 << (k - 1)
+		switch {
+		case f1.IsConst(false):
+			if !searchInterval(f0, rest, func(perm []int, l, u int) bool {
+				return emit(prepend(vars[p], perm), l, u)
+			}) {
+				return false
+			}
+		case f0.IsConst(false):
+			if !searchInterval(f1, rest, func(perm []int, l, u int) bool {
+				return emit(prepend(vars[p], perm), l+half, u+half)
+			}) {
+				return false
+			}
+		default:
+			if !searchSplit(f0, f1, rest, func(perm []int, l, u int) bool {
+				return emit(prepend(vars[p], perm), l, u+half)
+			}) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// searchSplit enumerates common orders under which fs is a suffix set
+// ({m : m >= L}) and fp a prefix set ({m : m <= U}) simultaneously.
+// Preconditions: fs and fp are non-constant-0 functions over the same vars.
+func searchSplit(fs, fp logic.TT, vars []int, emit func(perm []int, l, u int) bool) bool {
+	k := fs.Vars()
+	if k == 0 {
+		// Single minterm each; both non-0 means both are {0}: L=0, U=0.
+		return emit(nil, 0, 0)
+	}
+	sConst1 := fs.IsConst(true)
+	pConst1 := fp.IsConst(true)
+	if sConst1 && pConst1 {
+		return emit(append([]int(nil), vars...), 0, 1<<k-1)
+	}
+	if sConst1 {
+		// Only the prefix constraint remains; L = 0.
+		return searchPrefix(fp, vars, func(perm []int, u int) bool {
+			return emit(perm, 0, u)
+		})
+	}
+	if pConst1 {
+		return searchSuffix(fs, vars, func(perm []int, l int) bool {
+			return emit(perm, l, 1<<k-1)
+		})
+	}
+	for p := 0; p < k; p++ {
+		fs0, fs1 := fs.Cofactor(p+1, false), fs.Cofactor(p+1, true)
+		fp0, fp1 := fp.Cofactor(p+1, false), fp.Cofactor(p+1, true)
+		rest := restVars(vars, p)
+		half := 1 << (k - 1)
+
+		// Suffix side: either l-bit = 0 (fs1 = 1, fs0 suffix) or
+		// l-bit = 1 (fs0 = 0, fs1 suffix).
+		// Prefix side: either u-bit = 1 (fp0 = 1, fp1 prefix) or
+		// u-bit = 0 (fp1 = 0, fp0 prefix).
+		type branch struct {
+			fsRest, fpRest logic.TT
+			lAdd, uAdd     int
+			okS, okP       bool
+		}
+		branches := []branch{
+			{fs0, fp1, 0, half, fs1.IsConst(true), fp0.IsConst(true)},
+			{fs0, fp0, 0, 0, fs1.IsConst(true), fp1.IsConst(false)},
+			{fs1, fp1, half, half, fs0.IsConst(false), fp0.IsConst(true)},
+			{fs1, fp0, half, 0, fs0.IsConst(false), fp1.IsConst(false)},
+		}
+		for _, b := range branches {
+			if !b.okS || !b.okP {
+				continue
+			}
+			if b.fsRest.IsConst(false) || b.fpRest.IsConst(false) {
+				continue // suffix/prefix sets must stay non-empty
+			}
+			if !searchSplit(b.fsRest, b.fpRest, rest, func(perm []int, l, u int) bool {
+				return emit(prepend(vars[p], perm), l+b.lAdd, u+b.uAdd)
+			}) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// searchSuffix enumerates orders making f = {m : m >= L}, f not constant-0.
+func searchSuffix(f logic.TT, vars []int, emit func(perm []int, l int) bool) bool {
+	k := f.Vars()
+	if f.IsConst(true) {
+		return emit(append([]int(nil), vars...), 0)
+	}
+	if k == 0 || f.IsConst(false) {
+		return true
+	}
+	for p := 0; p < k; p++ {
+		f0, f1 := f.Cofactor(p+1, false), f.Cofactor(p+1, true)
+		rest := restVars(vars, p)
+		half := 1 << (k - 1)
+		if f1.IsConst(true) && !f0.IsConst(false) {
+			if !searchSuffix(f0, rest, func(perm []int, l int) bool {
+				return emit(prepend(vars[p], perm), l)
+			}) {
+				return false
+			}
+		}
+		if f0.IsConst(false) && !f1.IsConst(false) {
+			if !searchSuffix(f1, rest, func(perm []int, l int) bool {
+				return emit(prepend(vars[p], perm), l+half)
+			}) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// searchPrefix enumerates orders making f = {m : m <= U}, f not constant-0.
+func searchPrefix(f logic.TT, vars []int, emit func(perm []int, u int) bool) bool {
+	k := f.Vars()
+	if f.IsConst(true) {
+		return emit(append([]int(nil), vars...), 1<<k-1)
+	}
+	if k == 0 || f.IsConst(false) {
+		return true
+	}
+	for p := 0; p < k; p++ {
+		f0, f1 := f.Cofactor(p+1, false), f.Cofactor(p+1, true)
+		rest := restVars(vars, p)
+		half := 1 << (k - 1)
+		if f0.IsConst(true) && !f1.IsConst(false) {
+			if !searchPrefix(f1, rest, func(perm []int, u int) bool {
+				return emit(prepend(vars[p], perm), u+half)
+			}) {
+				return false
+			}
+		}
+		if f1.IsConst(false) && !f0.IsConst(false) {
+			if !searchPrefix(f0, rest, func(perm []int, u int) bool {
+				return emit(prepend(vars[p], perm), u)
+			}) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func restVars(vars []int, p int) []int {
+	rest := make([]int, 0, len(vars)-1)
+	rest = append(rest, vars[:p]...)
+	return append(rest, vars[p+1:]...)
+}
+
+func prepend(v int, perm []int) []int {
+	return append([]int{v}, perm...)
+}
+
+// IdentifySampling is the paper's experimental identification method: it
+// tries up to maxPerms permutations of the inputs (the identity first, then
+// random shuffles) and checks whether the onset or the offset minterms are
+// consecutive under each. rng may be nil for a fixed default seed.
+func IdentifySampling(f logic.TT, maxPerms int, rng *rand.Rand) (Spec, bool) {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1995))
+	}
+	n := f.Vars()
+	if f.IsConst(false) {
+		return Spec{}, false
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for t := 0; t < maxPerms; t++ {
+		if t > 0 {
+			rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		}
+		g := f.Permute(perm)
+		if l, u, ok := g.IsInterval(); ok {
+			return Spec{N: n, Perm: append([]int(nil), perm...), L: l, U: u}, true
+		}
+		if l, u, ok := g.Not().IsInterval(); ok {
+			return Spec{N: n, Perm: append([]int(nil), perm...), L: l, U: u, Complement: true}, true
+		}
+	}
+	return Spec{}, false
+}
+
+// IsComparison reports whether f is a comparison function (onset form).
+func IsComparison(f logic.TT) bool {
+	_, ok := Identify(f)
+	return ok
+}

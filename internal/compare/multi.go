@@ -1,0 +1,229 @@
+package compare
+
+import (
+	"fmt"
+	"math/rand"
+
+	"compsynth/internal/circuit"
+	"compsynth/internal/logic"
+)
+
+// Multi-unit synthesis — the paper's Section 6 extension (2): any function
+// can be written as f = f1 + f2 + ... + fk with each fi a comparison
+// function, by partitioning the onset into intervals under a common input
+// permutation and ORing the resulting comparison units.
+
+// Realization is the common interface of single- and multi-unit
+// implementations, as consumed by the resynthesis procedures.
+type Realization interface {
+	// GateCost is the equivalent-2-input gate count of the realization.
+	GateCost() int
+	// PathCost is the number of paths arriving at the output when input j
+	// carries np[j] paths.
+	PathCost(np []uint64) uint64
+	// Build appends the realization to c and returns the output node.
+	Build(c *circuit.Circuit, inputs []int, opt BuildOptions) int
+	// Table reconstructs the realized function.
+	Table() logic.TT
+}
+
+var (
+	_ Realization = Spec{}
+	_ Realization = MultiSpec{}
+)
+
+// MultiSpec realizes a function as the OR of comparison units sharing one
+// input permutation. When Complement is set the OR is inverted (the offset
+// was partitioned instead).
+type MultiSpec struct {
+	N          int
+	Perm       []int
+	Intervals  [][2]int // disjoint, ascending [L,U] pairs under Perm
+	Complement bool
+}
+
+func (m MultiSpec) String() string {
+	c := ""
+	if m.Complement {
+		c = " (complemented)"
+	}
+	return fmt.Sprintf("multi{n=%d perm=%v iv=%v%s}", m.N, m.Perm, m.Intervals, c)
+}
+
+// specs expands the intervals into single-unit Specs sharing Perm.
+func (m MultiSpec) specs() []Spec {
+	out := make([]Spec, len(m.Intervals))
+	for i, iv := range m.Intervals {
+		out[i] = Spec{N: m.N, Perm: m.Perm, L: iv[0], U: iv[1]}
+	}
+	return out
+}
+
+// Table reconstructs the function over the original variable order.
+func (m MultiSpec) Table() logic.TT {
+	g := logic.New(m.N)
+	for _, iv := range m.Intervals {
+		g = g.Or(logic.FromInterval(m.N, iv[0], iv[1]))
+	}
+	if m.Complement {
+		g = g.Not()
+	}
+	inv := make([]int, m.N)
+	for i, p := range m.Perm {
+		inv[p] = i
+	}
+	return g.Permute(inv)
+}
+
+// GateCost sums the unit costs plus the output OR (and nothing for the
+// optional inverter).
+func (m MultiSpec) GateCost() int {
+	cost := 0
+	for _, s := range m.specs() {
+		cost += s.GateCost()
+	}
+	if len(m.Intervals) > 1 {
+		cost += len(m.Intervals) - 1
+	}
+	return cost
+}
+
+// PathCost sums the per-unit path contributions.
+func (m MultiSpec) PathCost(np []uint64) uint64 {
+	var total uint64
+	for _, s := range m.specs() {
+		total += s.PathCost(np)
+	}
+	return total
+}
+
+// Build appends the units and the output OR.
+func (m MultiSpec) Build(c *circuit.Circuit, inputs []int, opt BuildOptions) int {
+	if len(m.Intervals) == 0 {
+		panic("compare: empty MultiSpec")
+	}
+	outs := make([]int, 0, len(m.Intervals))
+	base := opt.NamePrefix
+	for i, s := range m.specs() {
+		o := opt
+		o.NamePrefix = fmt.Sprintf("%su%d_", base, i)
+		outs = append(outs, s.Build(c, inputs, o))
+	}
+	var out int
+	if len(outs) == 1 {
+		out = outs[0]
+	} else {
+		out = c.AddGate(circuit.Or, base+"mor", outs...)
+	}
+	if m.Complement {
+		out = c.AddGate(circuit.Not, base+"mcmpl", out)
+	}
+	return out
+}
+
+// Validate checks internal consistency.
+func (m MultiSpec) Validate() error {
+	probe := Spec{N: m.N, Perm: m.Perm, L: 0, U: 0}
+	if err := probe.Validate(); err != nil {
+		return err
+	}
+	prev := -2
+	for _, iv := range m.Intervals {
+		if iv[0] > iv[1] || iv[0] < 0 || iv[1] >= 1<<m.N {
+			return fmt.Errorf("compare: bad interval %v", iv)
+		}
+		if iv[0] <= prev+1 {
+			return fmt.Errorf("compare: intervals not disjoint/sorted: %v", m.Intervals)
+		}
+		prev = iv[1]
+	}
+	return nil
+}
+
+// BuildStandaloneMulti constructs the multi-unit realization as its own
+// circuit with inputs y1..yN and a single output.
+func (m MultiSpec) BuildStandaloneMulti(name string, opt BuildOptions) *circuit.Circuit {
+	c := circuit.New(name)
+	inputs := make([]int, m.N)
+	for j := range inputs {
+		inputs[j] = c.AddInput(fmt.Sprintf("y%d", j+1))
+	}
+	out := m.Build(c, inputs, opt)
+	if c.Nodes[out].Type == circuit.Input {
+		out = c.AddGate(circuit.Buf, "multi_buf", out)
+	}
+	c.MarkOutput(out)
+	return c
+}
+
+// onsetRuns returns the maximal consecutive runs of the onset.
+func onsetRuns(f logic.TT) [][2]int {
+	var runs [][2]int
+	start, prev := -1, -2
+	for _, mt := range f.Onset() {
+		if mt != prev+1 {
+			if start >= 0 {
+				runs = append(runs, [2]int{start, prev})
+			}
+			start = mt
+		}
+		prev = mt
+	}
+	if start >= 0 {
+		runs = append(runs, [2]int{start, prev})
+	}
+	return runs
+}
+
+// IdentifyMulti finds a multi-unit realization of f with at most maxUnits
+// units, trying the identity permutation plus up to maxPerms random ones
+// and keeping the realization with the fewest units (ties by gate cost).
+// Both the onset and the offset (complemented output) are considered.
+// rng may be nil for a fixed default seed.
+func IdentifyMulti(f logic.TT, maxUnits, maxPerms int, rng *rand.Rand) (MultiSpec, bool) {
+	if f.IsConst(false) || f.IsConst(true) {
+		return MultiSpec{}, false // constants are folded, not synthesized
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(2026))
+	}
+	n := f.Vars()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var best MultiSpec
+	found := false
+	consider := func(p []int) {
+		g := f.Permute(p)
+		for _, compl := range []bool{false, true} {
+			h := g
+			if compl {
+				h = g.Not()
+			}
+			runs := onsetRuns(h)
+			if len(runs) == 0 || len(runs) > maxUnits {
+				continue
+			}
+			cand := MultiSpec{
+				N: n, Perm: append([]int(nil), p...),
+				Intervals: runs, Complement: compl,
+			}
+			if !found ||
+				len(cand.Intervals) < len(best.Intervals) ||
+				(len(cand.Intervals) == len(best.Intervals) && cand.GateCost() < best.GateCost()) {
+				best = cand
+				found = true
+			}
+		}
+	}
+	consider(perm)
+	for t := 0; t < maxPerms; t++ {
+		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		consider(perm)
+		if found && len(best.Intervals) == 1 {
+			break // cannot do better
+		}
+	}
+	return best, found
+}

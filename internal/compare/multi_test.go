@@ -1,0 +1,115 @@
+package compare
+
+import (
+	"math/rand"
+	"testing"
+
+	"compsynth/internal/logic"
+)
+
+func TestIdentifyMultiMajority(t *testing.T) {
+	// 3-input majority is not a single comparison function (verified in
+	// compare_test.go) but splits into two intervals: {3} and {5,6,7}.
+	f := logic.FromMinterms(3, []int{3, 5, 6, 7})
+	m, ok := IdentifyMulti(f, 2, 50, nil)
+	if !ok {
+		t.Fatal("majority not realizable with 2 units")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Table().Equal(f) {
+		t.Fatalf("multi spec %v does not realize majority", m)
+	}
+	if len(m.Intervals) > 2 {
+		t.Fatalf("%d units used", len(m.Intervals))
+	}
+}
+
+func TestIdentifyMultiPrefersSingleUnit(t *testing.T) {
+	f := logic.FromInterval(4, 5, 10)
+	m, ok := IdentifyMulti(f, 4, 100, nil)
+	if !ok || len(m.Intervals) != 1 {
+		t.Fatalf("interval function should use one unit: %v ok=%v", m, ok)
+	}
+}
+
+func TestIdentifyMultiBuildMatchesTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 150; trial++ {
+		n := 2 + rng.Intn(4)
+		f := logic.New(n)
+		k := 1 + rng.Intn(1<<n-1)
+		for j := 0; j < k; j++ {
+			f.Set(rng.Intn(1<<n), true)
+		}
+		if f.IsConst(false) || f.IsConst(true) {
+			continue
+		}
+		m, ok := IdentifyMulti(f, 1<<n, 30, rng)
+		if !ok {
+			t.Fatalf("trial %d: no realization with unbounded units for %s", trial, f)
+		}
+		if !m.Table().Equal(f) {
+			t.Fatalf("trial %d: table mismatch for %v", trial, m)
+		}
+		c := m.BuildStandaloneMulti("m", BuildOptions{Merge: trial%2 == 0})
+		for mt := 0; mt < 1<<n; mt++ {
+			in := make([]bool, n)
+			for j := 0; j < n; j++ {
+				in[j] = mt&(1<<(n-1-j)) != 0
+			}
+			if c.Eval(in)[0] != f.Get(mt) {
+				t.Fatalf("trial %d: built multi-unit wrong at %d", trial, mt)
+			}
+		}
+	}
+}
+
+func TestMultiGateCostMatchesBuild(t *testing.T) {
+	f := logic.FromMinterms(4, []int{1, 2, 9, 10})
+	m, ok := IdentifyMulti(f, 2, 100, nil)
+	if !ok {
+		t.Fatal("two-interval function not identified")
+	}
+	c := m.BuildStandaloneMulti("g", BuildOptions{Merge: true})
+	if c.Equiv2Count() != m.GateCost() {
+		t.Fatalf("built equiv2=%d, analytic=%d (%v)", c.Equiv2Count(), m.GateCost(), m)
+	}
+}
+
+func TestIdentifyMultiRespectsUnitBudget(t *testing.T) {
+	// A scattered onset needing 4 intervals under every permutation
+	// cannot fit in 2 units. Checkerboard parity of 4 vars: onset =
+	// odd-weight minterms; any permutation keeps 8 runs of length 1.
+	f := logic.New(4)
+	for mt := 0; mt < 16; mt++ {
+		if popcount(mt)%2 == 1 {
+			f.Set(mt, true)
+		}
+	}
+	if _, ok := IdentifyMulti(f, 2, 60, nil); ok {
+		t.Fatal("4-input parity claimed realizable with 2 units")
+	}
+	m, ok := IdentifyMulti(f, 8, 60, nil)
+	if !ok || !m.Table().Equal(f) {
+		t.Fatal("parity should be realizable with 8 units")
+	}
+}
+
+func popcount(x int) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+func TestIdentifyMultiConstants(t *testing.T) {
+	if _, ok := IdentifyMulti(logic.Const(3, true), 8, 10, nil); ok {
+		t.Fatal("const1 should be rejected (folded elsewhere)")
+	}
+	if _, ok := IdentifyMulti(logic.Const(3, false), 8, 10, nil); ok {
+		t.Fatal("const0 should be rejected")
+	}
+}

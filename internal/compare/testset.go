@@ -1,0 +1,152 @@
+package compare
+
+import "fmt"
+
+// Robust two-pattern test generation for comparison units (Section 3.3).
+//
+// The generator reproduces the construction demonstrated in the paper's
+// Figure 6 / Table 1 example:
+//
+//   - a free variable x_i gets its transition with the other free variables
+//     at their fixed values and the block variables at L_F, keeping both
+//     blocks steady at 1;
+//   - a variable tested through the >=L block gets x_j = l_j for the
+//     positions above it; below it, x_j = l_j when l_i = 1 (the chain must
+//     hold steady 1 under an AND) and x_j = 0 when l_i = 0 (the chain must
+//     hold steady 0 under an OR) — the "smallest possible decimal value that
+//     propagates the transition";
+//   - the <=U tests are the mirror image on the complemented literals.
+//
+// Every generated pair is a robust test: side inputs along the tested path
+// are steady at non-controlling values whenever the on-path transition moves
+// toward the controlling value (the delay package re-verifies this with its
+// 5-valued simulation in the integration tests).
+
+// BlockKind identifies which structure a tested path goes through.
+type BlockKind int
+
+// Path locations within a comparison unit.
+const (
+	FreePath BlockKind = iota // free variable -> output AND
+	GeqPath                   // through the >=L block
+	LeqPath                   // through the <=U block
+)
+
+func (b BlockKind) String() string {
+	switch b {
+	case FreePath:
+		return "free"
+	case GeqPath:
+		return ">=L"
+	case LeqPath:
+		return "<=U"
+	}
+	return "?"
+}
+
+// UnitTest is a robust two-pattern test for one path delay fault of a unit.
+type UnitTest struct {
+	Input  int       // original (unpermuted) input index, 0-based
+	Pos    int       // permuted position, 1-based (x_Pos)
+	Block  BlockKind // structure the tested path goes through
+	Rising bool      // transition direction at the unit input
+	V1, V2 []bool    // the two patterns, indexed by original input
+}
+
+func (t UnitTest) String() string {
+	dir := "1x0"
+	if t.Rising {
+		dir = "0x1"
+	}
+	return fmt.Sprintf("x%d %s %s", t.Pos, t.Block, dir)
+}
+
+// TestSet generates a complete robust test set for the unit: one rising and
+// one falling test for every structural path from an input to the output.
+// The number of tests is therefore exactly 2 * sum_i Kp(i).
+func (s Spec) TestSet() []UnitTest {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	var tests []UnitTest
+	f := s.FreeCount()
+	for i := 1; i <= s.N; i++ {
+		if i <= f {
+			base := s.baseAssignment(func(j int) int { return s.lbit(j) })
+			tests = s.appendPair(tests, i, FreePath, base)
+			continue
+		}
+		if s.InGeq(i) {
+			base := make([]int, s.N+1)
+			for j := 1; j <= s.N; j++ {
+				switch {
+				case j < i:
+					base[j] = s.lbit(j)
+				case j > i && s.lbit(i) == 1:
+					base[j] = s.lbit(j)
+				case j > i:
+					base[j] = 0
+				}
+			}
+			tests = s.appendPair(tests, i, GeqPath, base)
+		}
+		if s.InLeq(i) {
+			base := make([]int, s.N+1)
+			for j := 1; j <= s.N; j++ {
+				switch {
+				case j < i:
+					base[j] = s.ubit(j)
+				case j > i && s.ubit(i) == 0:
+					base[j] = s.ubit(j)
+				case j > i:
+					base[j] = 1
+				}
+			}
+			tests = s.appendPair(tests, i, LeqPath, base)
+		}
+	}
+	return tests
+}
+
+// baseAssignment builds a full positional assignment from a bit function.
+func (s Spec) baseAssignment(bit func(int) int) []int {
+	base := make([]int, s.N+1)
+	for j := 1; j <= s.N; j++ {
+		base[j] = bit(j)
+	}
+	return base
+}
+
+// appendPair adds the rising and falling tests for position i on top of the
+// base positional assignment (base[i] is overridden by the transition).
+func (s Spec) appendPair(tests []UnitTest, i int, block BlockKind, base []int) []UnitTest {
+	for _, rising := range []bool{true, false} {
+		v1 := make([]bool, s.N)
+		v2 := make([]bool, s.N)
+		for j := 1; j <= s.N; j++ {
+			orig := s.Perm[j-1]
+			if j == i {
+				v1[orig] = !rising
+				v2[orig] = rising
+			} else {
+				v1[orig] = base[j] == 1
+				v2[orig] = base[j] == 1
+			}
+		}
+		tests = append(tests, UnitTest{
+			Input: s.Perm[i-1], Pos: i, Block: block, Rising: rising,
+			V1: v1, V2: v2,
+		})
+	}
+	return tests
+}
+
+// NumPathFaults returns the number of path delay faults in the unit:
+// two (rising/falling) per structural input-to-output path.
+func (s Spec) NumPathFaults() int {
+	n := 0
+	for i := 1; i <= s.N; i++ {
+		n += s.Kp(i)
+	}
+	return 2 * n
+}

@@ -1,0 +1,164 @@
+package compare
+
+import (
+	"testing"
+)
+
+// Table 1 of the paper: the robust test set for the unit of Figure 6
+// (L=11, U=12, identity permutation; x1 free, L_F=3, U_F=4).
+func TestTable1TestSet(t *testing.T) {
+	s := identitySpec(4, 11, 12)
+	if s.FreeCount() != 1 {
+		t.Fatalf("FreeCount = %d, want 1", s.FreeCount())
+	}
+	tests := s.TestSet()
+	// Paper rows: x1 free; x2,x3,x4 through >=L_F; x2,x3,x4 through <=U_F.
+	// Two directions each: 14 tests.
+	if len(tests) != 14 {
+		t.Fatalf("test set size = %d, want 14", len(tests))
+	}
+	if s.NumPathFaults() != 14 {
+		t.Fatalf("NumPathFaults = %d, want 14", s.NumPathFaults())
+	}
+
+	// Expected steady values per fault row (positions x1..x4; -1 marks the
+	// transitioning input), transcribed from Table 1.
+	rows := []struct {
+		pos   int
+		block BlockKind
+		want  [4]int
+	}{
+		{1, FreePath, [4]int{-1, 0, 1, 1}},
+		{2, GeqPath, [4]int{1, -1, 0, 0}},
+		{3, GeqPath, [4]int{1, 0, -1, 1}},
+		{4, GeqPath, [4]int{1, 0, 1, -1}},
+		{2, LeqPath, [4]int{1, -1, 1, 1}},
+		{3, LeqPath, [4]int{1, 1, -1, 0}},
+		{4, LeqPath, [4]int{1, 1, 0, -1}},
+	}
+	for _, row := range rows {
+		found := 0
+		for _, ut := range tests {
+			if ut.Pos != row.pos || ut.Block != row.block {
+				continue
+			}
+			found++
+			for j := 0; j < 4; j++ {
+				if j == row.pos-1 {
+					// The transitioning input: V1 != V2.
+					if ut.V1[j] == ut.V2[j] {
+						t.Fatalf("row %v: input %d does not transition", row, j)
+					}
+					continue
+				}
+				want := row.want[j] == 1
+				if ut.V1[j] != want || ut.V2[j] != want {
+					t.Fatalf("row x%d %s: input x%d = %v/%v, want steady %v",
+						row.pos, row.block, j+1, ut.V1[j], ut.V2[j], want)
+				}
+			}
+		}
+		if found != 2 {
+			t.Fatalf("row x%d %s: found %d tests, want 2 (rising+falling)", row.pos, row.block, found)
+		}
+	}
+}
+
+// Every generated test must launch a transition at the unit output.
+func TestTestSetOutputTransitions(t *testing.T) {
+	for n := 1; n <= 5; n++ {
+		for l := 0; l < 1<<n; l++ {
+			for u := l; u < 1<<n; u++ {
+				s := identitySpec(n, l, u)
+				c := s.BuildStandalone("t", BuildOptions{Merge: true})
+				for _, ut := range s.TestSet() {
+					o1 := c.Eval(ut.V1)[0]
+					o2 := c.Eval(ut.V2)[0]
+					if o1 == o2 {
+						t.Fatalf("n=%d [%d,%d] %v: output steady (%v)", n, l, u, ut, o1)
+					}
+				}
+			}
+		}
+	}
+}
+
+// The test set covers every structural path: the number of tests equals
+// 2 * total unit paths, and every (input, block) with a path appears.
+func TestTestSetCoversAllPaths(t *testing.T) {
+	for n := 1; n <= 5; n++ {
+		for l := 0; l < 1<<n; l++ {
+			for u := l; u < 1<<n; u++ {
+				s := identitySpec(n, l, u)
+				tests := s.TestSet()
+				if len(tests) != s.NumPathFaults() {
+					t.Fatalf("n=%d [%d,%d]: %d tests vs %d faults",
+						n, l, u, len(tests), s.NumPathFaults())
+				}
+				// Each structural path appears in both directions.
+				type key struct {
+					pos  int
+					b    BlockKind
+					rise bool
+				}
+				seen := map[key]int{}
+				for _, ut := range tests {
+					seen[key{ut.Pos, ut.Block, ut.Rising}]++
+				}
+				for i := 1; i <= n; i++ {
+					var blocks []BlockKind
+					if i <= s.FreeCount() {
+						blocks = []BlockKind{FreePath}
+					} else {
+						if s.InGeq(i) {
+							blocks = append(blocks, GeqPath)
+						}
+						if s.InLeq(i) {
+							blocks = append(blocks, LeqPath)
+						}
+					}
+					for _, b := range blocks {
+						for _, r := range []bool{true, false} {
+							if seen[key{i, b, r}] != 1 {
+								t.Fatalf("n=%d [%d,%d]: path x%d %v rise=%v covered %d times",
+									n, l, u, i, b, r, seen[key{i, b, r}])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Side inputs must be steady: V1 and V2 differ in exactly one position.
+func TestTestSetSingleInputTransition(t *testing.T) {
+	s := identitySpec(5, 6, 21)
+	for _, ut := range s.TestSet() {
+		diff := 0
+		for j := range ut.V1 {
+			if ut.V1[j] != ut.V2[j] {
+				diff++
+				if j != s.Perm[ut.Pos-1] {
+					t.Fatalf("%v: transition on wrong input %d", ut, j)
+				}
+			}
+		}
+		if diff != 1 {
+			t.Fatalf("%v: %d transitioning inputs", ut, diff)
+		}
+	}
+}
+
+// Tests for permuted specs place the transition on the right original input.
+func TestTestSetRespectsPermutation(t *testing.T) {
+	s := Spec{N: 4, Perm: []int{2, 0, 3, 1}, L: 5, U: 10}
+	for _, ut := range s.TestSet() {
+		if ut.Input != s.Perm[ut.Pos-1] {
+			t.Fatalf("%v: Input=%d, Perm[Pos-1]=%d", ut, ut.Input, s.Perm[ut.Pos-1])
+		}
+		if ut.V1[ut.Input] == ut.V2[ut.Input] {
+			t.Fatalf("%v: designated input does not transition", ut)
+		}
+	}
+}

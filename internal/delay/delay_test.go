@@ -1,0 +1,258 @@
+package delay
+
+import (
+	"math/rand"
+	"testing"
+
+	"compsynth/internal/bench"
+	"compsynth/internal/circuit"
+	"compsynth/internal/gen"
+	"compsynth/internal/paths"
+)
+
+func TestAlgebraBasics(t *testing.T) {
+	if FromPair(false, true) != R || FromPair(true, false) != F ||
+		FromPair(false, false) != S0 || FromPair(true, true) != S1 {
+		t.Fatal("FromPair wrong")
+	}
+	for _, v := range []V5{S0, S1, R, F, XX} {
+		if v.Invert().Invert() != v {
+			t.Fatalf("Invert not involutive on %v", v)
+		}
+	}
+	// AND: controlling S0 dominates even XX.
+	if andV(XX, S0) != S0 || andV(S0, R) != S0 {
+		t.Fatal("AND S0 domination")
+	}
+	if andV(R, R) != R || andV(F, F) != F {
+		t.Fatal("AND same-direction transitions")
+	}
+	if andV(R, F) != XX {
+		t.Fatal("AND mixed transitions must be XX (hazard)")
+	}
+	if orV(S1, XX) != S1 || orV(R, R) != R || orV(R, F) != XX {
+		t.Fatal("OR rules")
+	}
+	if xorV(R, S0) != R || xorV(R, S1) != F || xorV(R, F) != XX {
+		t.Fatal("XOR rules")
+	}
+}
+
+func TestSim5ConsistentWithBooleanSim(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, b := range gen.SmallSuite()[:2] {
+		c := b.Build()
+		n := len(c.Inputs)
+		for trial := 0; trial < 50; trial++ {
+			v1 := make([]bool, n)
+			v2 := make([]bool, n)
+			for j := 0; j < n; j++ {
+				v1[j] = rng.Intn(2) == 1
+				v2[j] = rng.Intn(2) == 1
+			}
+			val := Sim5(c, v1, v2)
+			e1 := evalAll(c, v1)
+			e2 := evalAll(c, v2)
+			for _, id := range c.Topo() {
+				ini, fin := val[id].Initial(), val[id].Final()
+				if ini >= 0 && (ini == 1) != e1[id] {
+					t.Fatalf("%s node %d: initial mismatch (%v)", b.Name, id, val[id])
+				}
+				if fin >= 0 && (fin == 1) != e2[id] {
+					t.Fatalf("%s node %d: final mismatch (%v)", b.Name, id, val[id])
+				}
+			}
+		}
+	}
+}
+
+func evalAll(c *circuit.Circuit, pi []bool) []bool {
+	val := make([]bool, len(c.Nodes))
+	for i, id := range c.Inputs {
+		val[id] = pi[i]
+	}
+	for _, id := range c.Topo() {
+		nd := c.Nodes[id]
+		if nd.Type == circuit.Input {
+			continue
+		}
+		in := make([]bool, len(nd.Fanin))
+		for i, f := range nd.Fanin {
+			in[i] = val[f]
+		}
+		val[id] = nd.Type.Eval(in)
+	}
+	return val
+}
+
+func TestEnumeratePathsMatchesProcedure1(t *testing.T) {
+	// The number of enumerated paths must equal the Procedure 1 count.
+	c17, _ := bench.ParseString(bench.C17, "c17")
+	if got, want := len(EnumeratePaths(c17, 0)), int(paths.MustCount(c17)); got != want {
+		t.Fatalf("c17: enumerated %d, Procedure 1 says %d", got, want)
+	}
+	for _, b := range gen.SmallSuite() {
+		c := b.Build()
+		want := paths.MustCount(c)
+		if want > 200000 {
+			continue
+		}
+		if got := len(EnumeratePaths(c, 0)); uint64(got) != want {
+			t.Fatalf("%s: enumerated %d, Procedure 1 says %d", b.Name, got, want)
+		}
+	}
+}
+
+func TestEnumeratePathsParallelEdges(t *testing.T) {
+	// XOR(x, x) has two parallel edges: two paths.
+	c := circuit.New("px")
+	x := c.AddInput("x")
+	g := c.AddGate(circuit.Xor, "", x, x)
+	c.MarkOutput(g)
+	ps := EnumeratePaths(c, 0)
+	if len(ps) != 2 {
+		t.Fatalf("parallel edges give %d paths, want 2", len(ps))
+	}
+}
+
+func TestEdgeRobustAndGate(t *testing.T) {
+	c := circuit.New("t")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	g := c.AddGate(circuit.And, "", a, b)
+	c.MarkOutput(g)
+	cases := []struct {
+		v1, v2 []bool
+		pin    int
+		want   bool
+	}{
+		// a falls (toward controlling 0): side must be S1.
+		{[]bool{true, true}, []bool{false, true}, 0, true},
+		// a rises with side S1: allowed.
+		{[]bool{false, true}, []bool{true, true}, 0, true},
+		// a rises with side rising: allowed (robust for transitions away
+		// from controlling).
+		{[]bool{false, false}, []bool{true, true}, 0, true},
+		// a falls with side rising: NOT robust.
+		{[]bool{true, false}, []bool{false, true}, 0, false},
+		// a falls with side S0: output stuck at 0, not sensitized.
+		{[]bool{true, false}, []bool{false, false}, 0, false},
+	}
+	for i, cse := range cases {
+		val := Sim5(c, cse.v1, cse.v2)
+		if got := EdgeRobust(c, val, g, cse.pin); got != cse.want {
+			t.Errorf("case %d: EdgeRobust = %v, want %v", i, got, cse.want)
+		}
+	}
+}
+
+func TestEdgeRobustOrGate(t *testing.T) {
+	c := circuit.New("t")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	g := c.AddGate(circuit.Or, "", a, b)
+	c.MarkOutput(g)
+	// a rises (toward controlling 1): side must be steady S0.
+	val := Sim5(c, []bool{false, false}, []bool{true, false})
+	if !EdgeRobust(c, val, g, 0) {
+		t.Fatal("rising through OR with side S0 should be robust")
+	}
+	// a rises with side falling: not robust.
+	val = Sim5(c, []bool{false, true}, []bool{true, false})
+	if EdgeRobust(c, val, g, 0) {
+		t.Fatal("rising through OR with falling side accepted")
+	}
+	// a falls with side falling: robust (away from controlling).
+	val = Sim5(c, []bool{true, true}, []bool{false, false})
+	if !EdgeRobust(c, val, g, 0) {
+		t.Fatal("falling through OR with falling side should be robust")
+	}
+}
+
+func TestPathRobustChain(t *testing.T) {
+	// a -> AND(a,b) -> OR(.,d) -> out
+	c := circuit.New("t")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	d := c.AddInput("d")
+	g1 := c.AddGate(circuit.And, "", a, b)
+	g2 := c.AddGate(circuit.Or, "", g1, d)
+	c.MarkOutput(g2)
+	path := []int{a, g1, g2}
+	pins := []int{0, 0}
+	// a rises, b=S1, d=S0: robust.
+	if !PathRobust(c, path, pins, []bool{false, true, false}, []bool{true, true, false}) {
+		t.Fatal("clean sensitization rejected")
+	}
+	// d=S1 blocks the OR.
+	if PathRobust(c, path, pins, []bool{false, true, true}, []bool{true, true, true}) {
+		t.Fatal("blocked path accepted")
+	}
+	// No transition on a.
+	if PathRobust(c, path, pins, []bool{true, true, false}, []bool{true, true, false}) {
+		t.Fatal("steady launch accepted")
+	}
+}
+
+func TestRunRandomCampaignBasics(t *testing.T) {
+	c, _ := bench.ParseString(bench.C17, "c17")
+	res := RunRandom(c, CampaignOptions{MaxPairs: 3000, Seed: 1})
+	if res.TotalFaults != 22 {
+		t.Fatalf("c17 total path faults = %d, want 22 (2*11 paths)", res.TotalFaults)
+	}
+	if res.Detected == 0 {
+		t.Fatal("no robust detections on c17")
+	}
+	if uint64(res.Detected) > res.TotalFaults {
+		t.Fatalf("detected %d > total %d", res.Detected, res.TotalFaults)
+	}
+	r2 := RunRandom(c, CampaignOptions{MaxPairs: 3000, Seed: 1})
+	if r2.Detected != res.Detected || r2.LastEffective != res.LastEffective {
+		t.Fatal("campaign not deterministic")
+	}
+}
+
+func TestRunRandomMatchesBruteForce(t *testing.T) {
+	// Tiny circuit: brute-force every (v1,v2) pair over every path and
+	// compare the total robustly-detectable fault count with a saturating
+	// campaign.
+	c := circuit.New("t")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	g1 := c.AddGate(circuit.Nand, "", a, b)
+	g2 := c.AddGate(circuit.Or, "", g1, a)
+	c.MarkOutput(g2)
+
+	ps := EnumeratePaths(c, 0)
+	brute := map[string]bool{}
+	for pidx, p := range ps {
+		for m1 := 0; m1 < 4; m1++ {
+			for m2 := 0; m2 < 4; m2++ {
+				v1 := []bool{m1&2 != 0, m1&1 != 0}
+				v2 := []bool{m2&2 != 0, m2&1 != 0}
+				if PathRobust(c, p.Nodes, p.Pins, v1, v2) {
+					dir := "r"
+					if Sim5(c, v1, v2)[p.Nodes[0]] == F {
+						dir = "f"
+					}
+					brute[string(rune('0'+pidx))+dir] = true
+				}
+			}
+		}
+	}
+	res := RunRandom(c, CampaignOptions{MaxPairs: 5000, Seed: 3})
+	if res.Detected != len(brute) {
+		t.Fatalf("campaign detected %d, brute force %d", res.Detected, len(brute))
+	}
+}
+
+func TestQuietStopping(t *testing.T) {
+	c, _ := bench.ParseString(bench.C17, "c17")
+	res := RunRandom(c, CampaignOptions{MaxPairs: 100000, QuietPairs: 500, Seed: 2})
+	if res.Pairs >= 100000 {
+		t.Fatal("quiet stopping did not trigger")
+	}
+	if res.LastEffective > res.Pairs {
+		t.Fatal("inconsistent effective pair index")
+	}
+}

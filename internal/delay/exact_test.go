@@ -1,0 +1,77 @@
+package delay
+
+import (
+	"testing"
+
+	"compsynth/internal/bench"
+	"compsynth/internal/circuit"
+	"compsynth/internal/compare"
+)
+
+func TestClassifyExactC17(t *testing.T) {
+	c, _ := bench.ParseString(bench.C17, "c17")
+	stats, ok := ClassifyExact(c, 8, 100)
+	if !ok {
+		t.Fatal("c17 should be classifiable")
+	}
+	if stats.Total != 22 {
+		t.Fatalf("total = %d, want 22", stats.Total)
+	}
+	if stats.Testable+stats.Untestable != stats.Total {
+		t.Fatal("partition broken")
+	}
+	if stats.Testable == 0 {
+		t.Fatal("c17 must have robustly testable faults")
+	}
+	// A saturating random campaign can never exceed the exact count.
+	res := RunRandom(c, CampaignOptions{MaxPairs: 20000, Seed: 5})
+	if res.Detected > stats.Testable {
+		t.Fatalf("campaign %d > exact %d", res.Detected, stats.Testable)
+	}
+}
+
+func TestClassifyExactUnitFullTestability(t *testing.T) {
+	// Independent confirmation of Section 3.3 through exhaustion rather
+	// than the constructed test set: every unit fault is testable.
+	for _, bounds := range [][2]int{{5, 10}, {11, 12}, {3, 15}, {0, 12}, {6, 9}} {
+		s := compare.Spec{N: 4, Perm: []int{0, 1, 2, 3}, L: bounds[0], U: bounds[1]}
+		c := s.BuildStandalone("u", compare.BuildOptions{Merge: true})
+		stats, ok := ClassifyExact(c, 6, 200)
+		if !ok {
+			t.Fatal("unit should be classifiable")
+		}
+		if stats.Untestable != 0 {
+			t.Fatalf("[%d,%d]: %d untestable faults in a comparison unit",
+				bounds[0], bounds[1], stats.Untestable)
+		}
+	}
+}
+
+func TestClassifyExactFindsUntestable(t *testing.T) {
+	// A redundant AND inside an OR creates robustly untestable paths:
+	// f = a OR (a AND b): the a->AND->OR path cannot be robustly tested
+	// (the side input a of the OR must be steady 0 while a transitions).
+	c := circuit.New("red")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	g1 := c.AddGate(circuit.And, "g1", a, b)
+	g2 := c.AddGate(circuit.Or, "g2", a, g1)
+	c.MarkOutput(g2)
+	stats, ok := ClassifyExact(c, 6, 100)
+	if !ok {
+		t.Fatal("classifiable")
+	}
+	if stats.Untestable == 0 {
+		t.Fatal("expected untestable faults in the redundant structure")
+	}
+}
+
+func TestClassifyExactBoundsRespected(t *testing.T) {
+	c, _ := bench.ParseString(bench.C17, "c17")
+	if _, ok := ClassifyExact(c, 3, 100); ok {
+		t.Fatal("input bound ignored")
+	}
+	if _, ok := ClassifyExact(c, 8, 5); ok {
+		t.Fatal("path bound ignored")
+	}
+}

@@ -1,0 +1,89 @@
+package delay
+
+import (
+	"math/rand"
+	"testing"
+
+	"compsynth/internal/bench"
+	"compsynth/internal/gen"
+)
+
+func TestCountRobustPairMatchesEnumeration(t *testing.T) {
+	c, _ := bench.ParseString(bench.C17, "c17")
+	ps := EnumeratePaths(c, 0)
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		v1 := make([]bool, 5)
+		v2 := make([]bool, 5)
+		for j := range v1 {
+			v1[j] = rng.Intn(2) == 1
+			v2[j] = rng.Intn(2) == 1
+		}
+		want := uint64(0)
+		for _, p := range ps {
+			if PathRobust(c, p.Nodes, p.Pins, v1, v2) {
+				want++
+			}
+		}
+		if got := CountRobustPair(c, v1, v2); got != want {
+			t.Fatalf("trial %d: DP count %d, enumeration %d", trial, got, want)
+		}
+	}
+}
+
+func TestCountRobustPairRandomCircuits(t *testing.T) {
+	for _, b := range gen.SmallSuite()[:2] {
+		c := b.Build()
+		ps := EnumeratePaths(c, 0)
+		rng := rand.New(rand.NewSource(4))
+		for trial := 0; trial < 25; trial++ {
+			v1 := make([]bool, len(c.Inputs))
+			v2 := make([]bool, len(c.Inputs))
+			for j := range v1 {
+				v1[j] = rng.Intn(2) == 1
+				v2[j] = rng.Intn(2) == 1
+			}
+			want := uint64(0)
+			for _, p := range ps {
+				if PathRobust(c, p.Nodes, p.Pins, v1, v2) {
+					want++
+				}
+			}
+			if got := CountRobustPair(c, v1, v2); got != want {
+				t.Fatalf("%s trial %d: DP %d, enum %d", b.Name, trial, got, want)
+			}
+		}
+	}
+}
+
+func TestEstimateBracketsExact(t *testing.T) {
+	c, _ := bench.ParseString(bench.C17, "c17")
+	const pairs, seed = 2000, 11
+	est := EstimateRandom(c, pairs, seed)
+	exact := RunRandom(c, CampaignOptions{MaxPairs: pairs, Seed: seed})
+	if est.TotalFaults != exact.TotalFaults {
+		t.Fatalf("denominators differ: %d vs %d", est.TotalFaults, exact.TotalFaults)
+	}
+	if est.LowerBound > uint64(exact.Detected) {
+		t.Fatalf("lower bound %d above exact %d", est.LowerBound, exact.Detected)
+	}
+	if est.UpperBound < uint64(exact.Detected) {
+		t.Fatalf("upper bound %d below exact %d", est.UpperBound, exact.Detected)
+	}
+	if est.LowerCoverage() > est.UpperCoverage() {
+		t.Fatal("bounds inverted")
+	}
+}
+
+func TestEstimateScalesWithoutEnumeration(t *testing.T) {
+	// A circuit whose path count would make hashing heavy still estimates
+	// cheaply (no per-path state at all).
+	c := gen.Suite(0.3)[4].Build() // rs15850 analog: path-rich
+	est := EstimateRandom(c, 200, 3)
+	if est.TotalFaults == 0 {
+		t.Fatal("no faults")
+	}
+	if est.UpperBound > est.TotalFaults {
+		t.Fatal("upper bound exceeds universe")
+	}
+}

@@ -1,0 +1,193 @@
+// Package delay implements path delay fault analysis: 5-valued two-pattern
+// simulation, robust sensitization checking (Lin-Reddy conditions), path
+// enumeration, and random-pattern robust-coverage campaigns (Table 7).
+package delay
+
+import (
+	"compsynth/internal/circuit"
+)
+
+// V5 is the 5-valued two-pattern signal algebra.
+type V5 int8
+
+// Signal values: S0/S1 are hazard-free stable values, R is a single rising
+// transition (0x1), F a single falling transition (1x0), and XX covers
+// hazards and unknowns.
+const (
+	S0 V5 = iota
+	S1
+	R
+	F
+	XX
+)
+
+func (v V5) String() string {
+	switch v {
+	case S0:
+		return "000"
+	case S1:
+		return "111"
+	case R:
+		return "0x1"
+	case F:
+		return "1x0"
+	}
+	return "xxx"
+}
+
+// Initial returns the value under the first pattern (-1 if unknown).
+func (v V5) Initial() int {
+	switch v {
+	case S0, R:
+		return 0
+	case S1, F:
+		return 1
+	}
+	return -1
+}
+
+// Final returns the value under the second pattern (-1 if unknown).
+func (v V5) Final() int {
+	switch v {
+	case S0, F:
+		return 0
+	case S1, R:
+		return 1
+	}
+	return -1
+}
+
+// FromPair builds the value of a primary input from its two pattern bits.
+func FromPair(v1, v2 bool) V5 {
+	switch {
+	case !v1 && !v2:
+		return S0
+	case v1 && v2:
+		return S1
+	case !v1 && v2:
+		return R
+	default:
+		return F
+	}
+}
+
+// Invert complements a value.
+func (v V5) Invert() V5 {
+	switch v {
+	case S0:
+		return S1
+	case S1:
+		return S0
+	case R:
+		return F
+	case F:
+		return R
+	}
+	return XX
+}
+
+// andV folds two values through an AND gate, conservatively mapping
+// mixed-direction transitions (potential hazards) to XX.
+func andV(a, b V5) V5 {
+	if a == S0 || b == S0 {
+		return S0
+	}
+	if a == S1 {
+		return b
+	}
+	if b == S1 {
+		return a
+	}
+	if a == XX || b == XX {
+		return XX
+	}
+	if a == b {
+		return a // R&R = R, F&F = F (monotone, hazard-free)
+	}
+	return XX // R & F: static-0 hazard
+}
+
+func orV(a, b V5) V5 {
+	return andV(a.Invert(), b.Invert()).Invert()
+}
+
+func xorV(a, b V5) V5 {
+	switch {
+	case a == XX || b == XX:
+		return XX
+	case a == S0:
+		return b
+	case a == S1:
+		return b.Invert()
+	case b == S0:
+		return a
+	case b == S1:
+		return a.Invert()
+	default:
+		return XX // two transitioning XOR inputs: timing unknown
+	}
+}
+
+// EvalGate computes the 5-valued output of a gate type over input values.
+func EvalGate(t circuit.GateType, in []V5) V5 {
+	switch t {
+	case circuit.Const0:
+		return S0
+	case circuit.Const1:
+		return S1
+	case circuit.Buf:
+		return in[0]
+	case circuit.Not:
+		return in[0].Invert()
+	case circuit.And, circuit.Nand:
+		v := S1
+		for _, x := range in {
+			v = andV(v, x)
+		}
+		if t == circuit.Nand {
+			return v.Invert()
+		}
+		return v
+	case circuit.Or, circuit.Nor:
+		v := S0
+		for _, x := range in {
+			v = orV(v, x)
+		}
+		if t == circuit.Nor {
+			return v.Invert()
+		}
+		return v
+	case circuit.Xor, circuit.Xnor:
+		v := S0
+		for _, x := range in {
+			v = xorV(v, x)
+		}
+		if t == circuit.Xnor {
+			return v.Invert()
+		}
+		return v
+	}
+	panic("delay: EvalGate on " + t.String())
+}
+
+// Sim5 simulates a two-pattern pair over the whole circuit, returning the
+// value of every node.
+func Sim5(c *circuit.Circuit, v1, v2 []bool) []V5 {
+	val := make([]V5, len(c.Nodes))
+	for j, in := range c.Inputs {
+		val[in] = FromPair(v1[j], v2[j])
+	}
+	var buf []V5
+	for _, id := range c.Topo() {
+		nd := c.Nodes[id]
+		if nd.Type == circuit.Input {
+			continue
+		}
+		buf = buf[:0]
+		for _, f := range nd.Fanin {
+			buf = append(buf, val[f])
+		}
+		val[id] = EvalGate(nd.Type, buf)
+	}
+	return val
+}

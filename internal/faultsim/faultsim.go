@@ -1,0 +1,260 @@
+// Package faultsim is a parallel-pattern single-fault-propagation stuck-at
+// fault simulator in the style of FSIM [17]: 64 patterns are simulated per
+// word; each undetected fault is injected and propagated event-driven
+// through its fanout cone only, with early exit when the effect dies out.
+package faultsim
+
+import (
+	"math/bits"
+	"math/rand"
+	"sort"
+
+	"compsynth/internal/circuit"
+	"compsynth/internal/faults"
+)
+
+// Simulator simulates one circuit.
+type Simulator struct {
+	c       *circuit.Circuit
+	topo    []int
+	pos     []int // topo position per node ID
+	good    []uint64
+	cur     []uint64
+	dirty   []bool
+	touched []int
+	inQueue []bool
+	queue   []int
+	buf     []uint64
+	poMask  map[int]bool
+}
+
+// New builds a simulator for c.
+func New(c *circuit.Circuit) *Simulator {
+	topo := c.Topo()
+	pos := make([]int, len(c.Nodes))
+	for i, id := range topo {
+		pos[id] = i
+	}
+	po := map[int]bool{}
+	for _, o := range c.Outputs {
+		po[o] = true
+	}
+	c.RebuildFanouts()
+	return &Simulator{
+		c: c, topo: topo, pos: pos,
+		good:    make([]uint64, len(c.Nodes)),
+		cur:     make([]uint64, len(c.Nodes)),
+		dirty:   make([]bool, len(c.Nodes)),
+		inQueue: make([]bool, len(c.Nodes)),
+		poMask:  po,
+	}
+}
+
+// SetInputs loads one 64-pattern block: words[j] drives primary input j.
+func (s *Simulator) SetInputs(words []uint64) {
+	for j, in := range s.c.Inputs {
+		s.good[in] = words[j]
+	}
+}
+
+// RunGood computes the fault-free values for the current block.
+func (s *Simulator) RunGood() {
+	for _, id := range s.topo {
+		nd := s.c.Nodes[id]
+		if nd.Type == circuit.Input {
+			continue
+		}
+		s.buf = s.buf[:0]
+		for _, f := range nd.Fanin {
+			s.buf = append(s.buf, s.good[f])
+		}
+		s.good[id] = nd.Type.EvalWords(s.buf)
+	}
+}
+
+// GoodWord returns the fault-free word of a node.
+func (s *Simulator) GoodWord(id int) uint64 { return s.good[id] }
+
+// DetectWord simulates fault f against the current block and returns the
+// 64-bit word of patterns that detect it (difference observed at any PO).
+func (s *Simulator) DetectWord(f faults.Fault) uint64 {
+	// Faulty values start equal to good values; cur is restored lazily via
+	// the touched list.
+	var detected uint64
+	s.queue = s.queue[:0]
+
+	inject := func(id int, w uint64) {
+		if w == s.good[id] && !s.dirty[id] {
+			return
+		}
+		s.cur[id] = w
+		if !s.dirty[id] {
+			s.dirty[id] = true
+			s.touched = append(s.touched, id)
+		}
+		if s.poMask[id] {
+			detected |= w ^ s.good[id]
+		}
+		for _, consumer := range s.c.Fanouts(id) {
+			s.push(consumer)
+		}
+	}
+
+	faultyWord := uint64(0)
+	if f.Stuck {
+		faultyWord = ^uint64(0)
+	}
+
+	if f.Pin < 0 {
+		inject(f.Node, faultyWord)
+	} else {
+		// Branch fault: re-evaluate the consuming gate with the pin forced.
+		nd := s.c.Nodes[f.Node]
+		s.buf = s.buf[:0]
+		for pin, fn := range nd.Fanin {
+			w := s.good[fn]
+			if pin == f.Pin {
+				w = faultyWord
+			}
+			s.buf = append(s.buf, w)
+		}
+		inject(f.Node, nd.Type.EvalWords(s.buf))
+	}
+
+	for len(s.queue) > 0 {
+		// Pop the topologically smallest queued node.
+		id := s.pop()
+		nd := s.c.Nodes[id]
+		s.buf = s.buf[:0]
+		for _, fn := range nd.Fanin {
+			s.buf = append(s.buf, s.val(fn))
+		}
+		w := nd.Type.EvalWords(s.buf)
+		if w != s.val(id) {
+			inject(id, w)
+		}
+	}
+
+	// Restore.
+	for _, id := range s.touched {
+		s.dirty[id] = false
+	}
+	s.touched = s.touched[:0]
+	return detected
+}
+
+// val returns the current (possibly faulty) word of a node.
+func (s *Simulator) val(id int) uint64 {
+	if s.dirty[id] {
+		return s.cur[id]
+	}
+	return s.good[id]
+}
+
+func (s *Simulator) push(id int) {
+	if s.inQueue[id] {
+		return
+	}
+	s.inQueue[id] = true
+	s.queue = append(s.queue, id)
+}
+
+func (s *Simulator) pop() int {
+	best := 0
+	for i := 1; i < len(s.queue); i++ {
+		if s.pos[s.queue[i]] < s.pos[s.queue[best]] {
+			best = i
+		}
+	}
+	id := s.queue[best]
+	s.queue[best] = s.queue[len(s.queue)-1]
+	s.queue = s.queue[:len(s.queue)-1]
+	s.inQueue[id] = false
+	return id
+}
+
+// CampaignResult summarizes a random-pattern campaign (Table 6 columns).
+type CampaignResult struct {
+	TotalFaults   int
+	Detected      int
+	Remaining     []faults.Fault
+	LastEffective int // 1-based index of the last pattern that detected a new fault
+	Patterns      int // patterns applied
+}
+
+// Coverage returns detected / total.
+func (r CampaignResult) Coverage() float64 {
+	if r.TotalFaults == 0 {
+		return 1
+	}
+	return float64(r.Detected) / float64(r.TotalFaults)
+}
+
+// RunRandom applies maxPatterns random patterns (rounded up to blocks of 64)
+// to the collapsed fault list and reports detection statistics. The same
+// seed yields the same pattern sequence for circuits with equal input
+// counts, mirroring the paper's before/after comparison methodology.
+func RunRandom(c *circuit.Circuit, fl []faults.Fault, maxPatterns int, seed int64) CampaignResult {
+	s := New(c)
+	rng := rand.New(rand.NewSource(seed))
+	remaining := append([]faults.Fault(nil), fl...)
+	res := CampaignResult{TotalFaults: len(fl)}
+	words := make([]uint64, len(c.Inputs))
+	blocks := (maxPatterns + 63) / 64
+	for b := 0; b < blocks && len(remaining) > 0; b++ {
+		for j := range words {
+			words[j] = rng.Uint64()
+		}
+		s.SetInputs(words)
+		s.RunGood()
+		kept := remaining[:0]
+		for _, f := range remaining {
+			d := s.DetectWord(f)
+			if d == 0 {
+				kept = append(kept, f)
+				continue
+			}
+			res.Detected++
+			first := b*64 + lowestBit(d) + 1
+			if first > res.LastEffective {
+				res.LastEffective = first
+			}
+		}
+		remaining = kept
+	}
+	res.Remaining = append([]faults.Fault(nil), remaining...)
+	res.Patterns = blocks * 64
+	return res
+}
+
+func lowestBit(w uint64) int {
+	return bits.TrailingZeros64(w)
+}
+
+// DetectedBy reports whether pattern pi (one bool per input) detects fault f.
+func DetectedBy(c *circuit.Circuit, f faults.Fault, pi []bool) bool {
+	s := New(c)
+	words := make([]uint64, len(pi))
+	for j, v := range pi {
+		if v {
+			words[j] = 1
+		}
+	}
+	s.SetInputs(words)
+	s.RunGood()
+	return s.DetectWord(f)&1 != 0
+}
+
+// SortFaults orders a fault list deterministically (test helper).
+func SortFaults(fl []faults.Fault) {
+	sort.Slice(fl, func(i, j int) bool {
+		a, b := fl[i], fl[j]
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		if a.Pin != b.Pin {
+			return a.Pin < b.Pin
+		}
+		return !a.Stuck && b.Stuck
+	})
+}

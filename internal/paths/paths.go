@@ -1,0 +1,134 @@
+// Package paths implements Procedure 1 of the paper: counting the paths of a
+// combinational circuit by labeling every line g with N_p(g), the number of
+// paths from the primary inputs to g.
+//
+// Primary inputs get N_p = 1, a gate output gets the sum of its fanin labels,
+// and a fanout branch carries its stem's label (implicit in the node model:
+// each gate-input edge reads the driving node's label directly). The total
+// path count is the sum over primary outputs — counted once per OUTPUT
+// designation, matching the paper's line-based accounting.
+package paths
+
+import (
+	"errors"
+	"math/big"
+
+	"compsynth/internal/circuit"
+)
+
+// ErrOverflow is reported by Count when the path count exceeds uint64.
+var ErrOverflow = errors.New("paths: count overflows uint64; use CountBig")
+
+// Labels computes N_p for every live node, as uint64 with saturation: if any
+// label overflows, ok is false (use LabelsBig then).
+func Labels(c *circuit.Circuit) (np []uint64, ok bool) {
+	np = make([]uint64, len(c.Nodes))
+	ok = true
+	for _, id := range c.Topo() {
+		nd := c.Nodes[id]
+		switch nd.Type {
+		case circuit.Input:
+			np[id] = 1
+		case circuit.Const0, circuit.Const1:
+			// A constant originates no paths.
+			np[id] = 0
+		default:
+			var sum uint64
+			for _, f := range nd.Fanin {
+				s := sum + np[f]
+				if s < sum {
+					ok = false
+					s = ^uint64(0)
+				}
+				sum = s
+			}
+			np[id] = sum
+		}
+	}
+	return np, ok
+}
+
+// Count returns the total number of PI-to-PO paths.
+func Count(c *circuit.Circuit) (uint64, error) {
+	np, ok := Labels(c)
+	if !ok {
+		return 0, ErrOverflow
+	}
+	var total uint64
+	for _, o := range c.Outputs {
+		s := total + np[o]
+		if s < total {
+			return 0, ErrOverflow
+		}
+		total = s
+	}
+	return total, nil
+}
+
+// MustCount is Count for circuits known to be within range (panics on
+// overflow). Convenient in benchmarks and tables.
+func MustCount(c *circuit.Circuit) uint64 {
+	n, err := Count(c)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// LabelsBig computes exact N_p labels using arbitrary precision.
+func LabelsBig(c *circuit.Circuit) []*big.Int {
+	np := make([]*big.Int, len(c.Nodes))
+	for _, id := range c.Topo() {
+		nd := c.Nodes[id]
+		switch nd.Type {
+		case circuit.Input:
+			np[id] = big.NewInt(1)
+		case circuit.Const0, circuit.Const1:
+			np[id] = big.NewInt(0)
+		default:
+			sum := new(big.Int)
+			for _, f := range nd.Fanin {
+				sum.Add(sum, np[f])
+			}
+			np[id] = sum
+		}
+	}
+	return np
+}
+
+// CountBig returns the exact total path count.
+func CountBig(c *circuit.Circuit) *big.Int {
+	np := LabelsBig(c)
+	total := new(big.Int)
+	for _, o := range c.Outputs {
+		total.Add(total, np[o])
+	}
+	return total
+}
+
+// FanoutWeights computes, for each node g, the number of paths from g to any
+// primary output (the "K_p-forward" weight): POs seed 1 per designation, and
+// a node's weight is the sum of its consumers' weights over each consuming
+// pin. Together with Labels this gives the number of paths through any line:
+// through(g) = Labels[g] * FanoutWeights[g].
+func FanoutWeights(c *circuit.Circuit) []uint64 {
+	w := make([]uint64, len(c.Nodes))
+	for _, o := range c.Outputs {
+		w[o]++
+	}
+	topo := c.Topo()
+	for i := len(topo) - 1; i >= 0; i-- {
+		id := topo[i]
+		nd := c.Nodes[id]
+		for _, f := range nd.Fanin {
+			w[f] += w[id]
+		}
+	}
+	return w
+}
+
+// Through returns the number of PI-to-PO paths passing through node id.
+func Through(c *circuit.Circuit, id int) uint64 {
+	np, _ := Labels(c)
+	return np[id] * FanoutWeights(c)[id]
+}

@@ -1,0 +1,188 @@
+// Package rambo is the stand-in for the RAMBO_C baseline of Table 3 (see
+// DESIGN.md, substitution 2): an area optimizer that resubstitutes K-input
+// cones by minimized, algebraically factored realizations. Like the original
+// redundancy-addition-and-removal optimizer it reduces gate count more
+// aggressively than Procedure 2 — it is not restricted to comparison
+// functions — at the price of higher path counts.
+package rambo
+
+import (
+	"math/bits"
+	"sort"
+
+	"compsynth/internal/logic"
+)
+
+// Cube is a product term over n variables: for variable i (0-based), Mask
+// bit (n-1-i) set means the variable appears; Value's bit gives its phase.
+type Cube struct {
+	Mask, Value int
+}
+
+// Literals returns the number of literals in the cube.
+func (c Cube) Literals() int { return bits.OnesCount(uint(c.Mask)) }
+
+// Contains reports whether minterm m is covered by the cube.
+func (c Cube) Contains(m int) bool { return m&c.Mask == c.Value }
+
+// HasLiteral reports whether variable v (0-based) appears with phase pos.
+func (c Cube) HasLiteral(n, v int, pos bool) bool {
+	bit := 1 << (n - 1 - v)
+	if c.Mask&bit == 0 {
+		return false
+	}
+	return (c.Value&bit != 0) == pos
+}
+
+// DropVar removes variable v from the cube.
+func (c Cube) DropVar(n, v int) Cube {
+	bit := 1 << (n - 1 - v)
+	return Cube{Mask: c.Mask &^ bit, Value: c.Value &^ bit}
+}
+
+// Minimize computes a near-minimal sum-of-products cover of tt via
+// Quine-McCluskey prime implicant generation and an essential-first greedy
+// cover. Exact for the sizes used here (n <= 7); returns nil for constant 0.
+func Minimize(tt logic.TT) []Cube {
+	onset := tt.Onset()
+	if len(onset) == 0 {
+		return nil
+	}
+	if len(onset) == tt.Size() {
+		return []Cube{{Mask: 0, Value: 0}} // constant 1: the empty cube
+	}
+	primes := primeImplicants(tt)
+	return coverGreedy(onset, primes)
+}
+
+// primeImplicants generates all prime implicants of tt by iterative cube
+// merging.
+func primeImplicants(tt logic.TT) []Cube {
+	n := tt.Vars()
+	fullMask := 1<<n - 1
+	// Level k holds cubes with k don't-cares. Start with the onset
+	// minterms.
+	cur := map[Cube]bool{}
+	for _, m := range tt.Onset() {
+		cur[Cube{Mask: fullMask, Value: m}] = true
+	}
+	var primes []Cube
+	for len(cur) > 0 {
+		next := map[Cube]bool{}
+		merged := map[Cube]bool{}
+		cubes := make([]Cube, 0, len(cur))
+		for c := range cur {
+			cubes = append(cubes, c)
+		}
+		for i := 0; i < len(cubes); i++ {
+			for j := i + 1; j < len(cubes); j++ {
+				a, b := cubes[i], cubes[j]
+				if a.Mask != b.Mask {
+					continue
+				}
+				diff := a.Value ^ b.Value
+				if bits.OnesCount(uint(diff)) != 1 {
+					continue
+				}
+				next[Cube{Mask: a.Mask &^ diff, Value: a.Value &^ diff}] = true
+				merged[a] = true
+				merged[b] = true
+			}
+		}
+		for c := range cur {
+			if !merged[c] {
+				primes = append(primes, c)
+			}
+		}
+		cur = next
+	}
+	sort.Slice(primes, func(i, j int) bool {
+		if primes[i].Mask != primes[j].Mask {
+			return primes[i].Mask < primes[j].Mask
+		}
+		return primes[i].Value < primes[j].Value
+	})
+	return primes
+}
+
+// coverGreedy picks essential primes first, then greedily covers the rest.
+func coverGreedy(onset []int, primes []Cube) []Cube {
+	uncovered := map[int]bool{}
+	for _, m := range onset {
+		uncovered[m] = true
+	}
+	coveredBy := map[int][]int{} // minterm -> prime indices
+	for pi, p := range primes {
+		for _, m := range onset {
+			if p.Contains(m) {
+				coveredBy[m] = append(coveredBy[m], pi)
+			}
+		}
+	}
+	chosen := map[int]bool{}
+	// Essential primes.
+	for _, m := range onset {
+		if len(coveredBy[m]) == 1 {
+			chosen[coveredBy[m][0]] = true
+		}
+	}
+	for pi := range chosen {
+		for m := range uncovered {
+			if primes[pi].Contains(m) {
+				delete(uncovered, m)
+			}
+		}
+	}
+	// Greedy: max new coverage, ties by fewer literals.
+	for len(uncovered) > 0 {
+		bestPi, bestCover, bestLits := -1, -1, 1<<30
+		for pi, p := range primes {
+			if chosen[pi] {
+				continue
+			}
+			cov := 0
+			for m := range uncovered {
+				if p.Contains(m) {
+					cov++
+				}
+			}
+			if cov > bestCover || (cov == bestCover && p.Literals() < bestLits) {
+				bestPi, bestCover, bestLits = pi, cov, p.Literals()
+			}
+		}
+		if bestPi < 0 || bestCover == 0 {
+			break // should not happen: primes cover the onset
+		}
+		chosen[bestPi] = true
+		for m := range uncovered {
+			if primes[bestPi].Contains(m) {
+				delete(uncovered, m)
+			}
+		}
+	}
+	var out []Cube
+	for pi := range chosen {
+		out = append(out, primes[pi])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Mask != out[j].Mask {
+			return out[i].Mask < out[j].Mask
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}
+
+// SOPTable rebuilds the truth table of a cover (test/verification helper).
+func SOPTable(n int, cubes []Cube) logic.TT {
+	tt := logic.New(n)
+	for m := 0; m < tt.Size(); m++ {
+		for _, c := range cubes {
+			if c.Contains(m) {
+				tt.Set(m, true)
+				break
+			}
+		}
+	}
+	return tt
+}

@@ -1,0 +1,157 @@
+package rambo
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"compsynth/internal/bench"
+	"compsynth/internal/circuit"
+	"compsynth/internal/gen"
+	"compsynth/internal/logic"
+	"compsynth/internal/simulate"
+)
+
+func randomTT(rng *rand.Rand, n int) logic.TT {
+	t := logic.New(n)
+	for m := 0; m < t.Size(); m++ {
+		if rng.Intn(2) == 1 {
+			t.Set(m, true)
+		}
+	}
+	return t
+}
+
+func TestMinimizeCoversExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for n := 1; n <= 6; n++ {
+		for trial := 0; trial < 60; trial++ {
+			tt := randomTT(rng, n)
+			cubes := Minimize(tt)
+			if !SOPTable(n, cubes).Equal(tt) {
+				t.Fatalf("n=%d: cover wrong for %s", n, tt)
+			}
+		}
+	}
+}
+
+func TestMinimizeKnownFunctions(t *testing.T) {
+	// Majority of 3: x1x2 + x1x3 + x2x3 (3 primes, all essential).
+	maj := logic.FromMinterms(3, []int{3, 5, 6, 7})
+	cubes := Minimize(maj)
+	if len(cubes) != 3 {
+		t.Fatalf("majority cover has %d cubes, want 3", len(cubes))
+	}
+	for _, c := range cubes {
+		if c.Literals() != 2 {
+			t.Fatalf("majority cube with %d literals", c.Literals())
+		}
+	}
+	// Constant 1: single empty cube.
+	one := Minimize(logic.Const(3, true))
+	if len(one) != 1 || one[0].Mask != 0 {
+		t.Fatalf("const1 cover: %v", one)
+	}
+	// Constant 0: empty cover.
+	if c := Minimize(logic.Const(3, false)); c != nil {
+		t.Fatalf("const0 cover: %v", c)
+	}
+	// Single minterm: one full cube.
+	m5 := Minimize(logic.FromMinterms(3, []int{5}))
+	if len(m5) != 1 || m5[0].Mask != 7 || m5[0].Value != 5 {
+		t.Fatalf("minterm cover: %v", m5)
+	}
+}
+
+func TestBuildFactoredCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for n := 1; n <= 5; n++ {
+		for trial := 0; trial < 40; trial++ {
+			tt := randomTT(rng, n)
+			cubes := Minimize(tt)
+			equiv2, kp := FactoredCost(n, cubes)
+			if equiv2 < 0 {
+				t.Fatal("negative cost")
+			}
+			for v, k := range kp {
+				if k < 0 {
+					t.Fatalf("negative path count for var %d", v)
+				}
+			}
+			// Functional check via a scratch build.
+			c := circuit.New("scratch")
+			inputs := make([]int, n)
+			for v := range inputs {
+				inputs[v] = c.AddInput(fmt.Sprintf("y%d", v))
+			}
+			out := BuildFactored(c, n, cubes, inputs, "t_")
+			c.MarkOutput(out)
+			for m := 0; m < 1<<n; m++ {
+				in := make([]bool, n)
+				for v := 0; v < n; v++ {
+					in[v] = m&(1<<(n-1-v)) != 0
+				}
+				if c.Eval(in)[0] != tt.Get(m) {
+					t.Fatalf("n=%d factored form wrong at %d (tt %s)", n, m, tt)
+				}
+			}
+		}
+	}
+}
+
+func TestOptimizeReducesGatesOnSOP(t *testing.T) {
+	// A redundant SOP (non-minimal) collapses under minimization.
+	src := `
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(f)
+na = NOT(a)
+t1 = AND(a, b)
+t2 = AND(na, b)
+t3 = AND(b, c)
+f = OR(t1, t2, t3)
+`
+	c, err := bench.ParseString(src, "sop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// f = b (t1+t2 = b, absorbing t3).
+	res, err := Optimize(c, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GatesAfter != 0 {
+		t.Fatalf("expected collapse to wire, gates=%d", res.GatesAfter)
+	}
+	if !simulate.EquivalentRandom(c, res.Circuit, 4, 6, 1) {
+		t.Fatal("function changed")
+	}
+}
+
+func TestOptimizePreservesFunction(t *testing.T) {
+	for _, b := range gen.SmallSuite() {
+		c := b.Build()
+		res, err := Optimize(c, DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if res.GatesAfter > res.GatesBefore {
+			t.Fatalf("%s: gates increased %d -> %d", b.Name, res.GatesBefore, res.GatesAfter)
+		}
+		if !simulate.EquivalentRandom(c, res.Circuit, 32, 12, 2) {
+			t.Fatalf("%s: function changed", b.Name)
+		}
+	}
+}
+
+func TestOptimizeC17(t *testing.T) {
+	c, _ := bench.ParseString(bench.C17, "c17")
+	res, err := Optimize(c, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !simulate.EquivalentRandom(c, res.Circuit, 4, 6, 1) {
+		t.Fatal("c17 function changed")
+	}
+}

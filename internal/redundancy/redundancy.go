@@ -1,0 +1,150 @@
+// Package redundancy removes stuck-at redundancies from combinational
+// circuits, in the spirit of Kajihara/Shiba/Kinoshita [15] as used by the
+// paper: any line with an undetectable stuck-at-v fault can be replaced by
+// the constant v without changing the circuit function; constant propagation
+// and dead-logic sweeping then shrink the netlist. The pass iterates until
+// the collapsed fault list is fully testable (or the ATPG aborts).
+package redundancy
+
+import (
+	"fmt"
+
+	"compsynth/internal/atpg"
+	"compsynth/internal/circuit"
+	"compsynth/internal/faults"
+	"compsynth/internal/faultsim"
+	"compsynth/internal/simulate"
+)
+
+// Options configures the removal pass.
+type Options struct {
+	// FilterPatterns random patterns drop obviously-testable faults before
+	// ATPG runs (0 = default 2048).
+	FilterPatterns int
+	// BacktrackLimit bounds each PODEM call.
+	BacktrackLimit int
+	// MaxRounds bounds remove-and-recheck iterations.
+	MaxRounds int
+	// Verify re-checks functional equivalence after every round.
+	Verify bool
+	Seed   int64
+}
+
+// DefaultOptions returns a configuration suited to the benchmark suite.
+func DefaultOptions() Options {
+	return Options{FilterPatterns: 2048, BacktrackLimit: 20000, MaxRounds: 20, Verify: true, Seed: 15}
+}
+
+// Result reports a removal run.
+type Result struct {
+	Circuit     *circuit.Circuit
+	Rounds      int
+	Removed     int // redundant faults rewritten
+	Aborted     int // faults the ATPG gave up on (left in place)
+	GatesBefore int
+	GatesAfter  int
+}
+
+func (r *Result) String() string {
+	return fmt.Sprintf("rounds=%d removed=%d aborted=%d gates %d->%d",
+		r.Rounds, r.Removed, r.Aborted, r.GatesBefore, r.GatesAfter)
+}
+
+// Remove returns an irredundant (up to ATPG aborts) equivalent of c.
+// The input circuit is not modified.
+func Remove(c *circuit.Circuit, opt Options) (*Result, error) {
+	if opt.FilterPatterns <= 0 {
+		opt.FilterPatterns = 2048
+	}
+	if opt.MaxRounds <= 0 {
+		opt.MaxRounds = 20
+	}
+	poNames := c.PONames()
+	work := c.Clone()
+	work.Simplify()
+	work.Strash()
+	work, _ = work.Compact()
+	res := &Result{GatesBefore: c.Equiv2Count()}
+	for round := 0; round < opt.MaxRounds; round++ {
+		res.Rounds++
+		fl := faults.Collapse(work)
+		sim := faultsim.RunRandom(work, fl, opt.FilterPatterns, opt.Seed+int64(round))
+		removedThisRound := 0
+		res.Aborted = 0
+		// Each fault is (re-)proved against the live circuit, so removals
+		// within the round stay sound even though they interact. Rewrites
+		// only fold lines to constants, which keeps the remaining fault
+		// sites structurally valid until the end-of-round simplification.
+		for _, f := range sim.Remaining {
+			if !work.Alive(f.Node) || (f.Pin >= 0 && f.Pin >= len(work.Nodes[f.Node].Fanin)) {
+				continue
+			}
+			r := atpg.Generate(work, f, atpg.Options{BacktrackLimit: opt.BacktrackLimit})
+			switch r.Status {
+			case atpg.Redundant:
+				rewrite(work, f)
+				removedThisRound++
+				res.Removed++
+			case atpg.Aborted:
+				res.Aborted++
+			}
+		}
+		if removedThisRound == 0 {
+			break
+		}
+		before := work.Clone()
+		work.Simplify()
+		work.Strash()
+		work, _ = work.Compact()
+		if opt.Verify && !simulate.EquivalentRandom(before, work, 16, 12, opt.Seed) {
+			return nil, fmt.Errorf("redundancy: round %d simplification broke equivalence", round)
+		}
+	}
+	work.PreservePONames(poNames)
+	res.Circuit = work
+	res.GatesAfter = work.Equiv2Count()
+	return res, nil
+}
+
+// rewrite replaces the faulty line by the constant it is stuck at.
+func rewrite(c *circuit.Circuit, f faults.Fault) {
+	constOf := func(v bool) int {
+		if v {
+			return c.AddGate(circuit.Const1, "")
+		}
+		return c.AddGate(circuit.Const0, "")
+	}
+	if f.Pin < 0 {
+		c.SetConstant(f.Node, f.Stuck)
+		return
+	}
+	nd := c.Nodes[f.Node]
+	switch nd.Type {
+	case circuit.Not, circuit.Buf:
+		// Fixed-arity gates: fold directly.
+		v := f.Stuck
+		if nd.Type == circuit.Not {
+			v = !v
+		}
+		c.SetConstant(f.Node, v)
+	default:
+		c.SetFanin(f.Node, f.Pin, constOf(f.Stuck))
+	}
+}
+
+// CheckIrredundant verifies that every collapsed fault of c is testable,
+// returning the redundant (or aborted) faults found.
+func CheckIrredundant(c *circuit.Circuit, backtrackLimit int) (redundant, aborted []faults.Fault) {
+	fl := faults.Collapse(c)
+	sim := faultsim.RunRandom(c, fl, 2048, 99)
+	for _, f := range sim.Remaining {
+		r := atpg.Generate(c, f, atpg.Options{BacktrackLimit: backtrackLimit})
+		switch r.Status {
+		case atpg.Redundant:
+			redundant = append(redundant, f)
+		case atpg.Aborted:
+			aborted = append(aborted, f)
+		}
+	}
+	return redundant, aborted
+}

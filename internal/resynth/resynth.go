@@ -1,0 +1,442 @@
+// Package resynth implements the paper's circuit optimization procedures:
+// Procedure 2 (reduce the equivalent-2-input gate count, ties broken by the
+// path count), Procedure 3 (reduce the path count), and the combined measure
+// of Section 4.3. Each procedure repeatedly sweeps the circuit from the
+// primary outputs toward the inputs, replacing subcircuits that implement
+// comparison functions by comparison units, until a fixpoint.
+package resynth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"compsynth/internal/circuit"
+	"compsynth/internal/compare"
+	"compsynth/internal/logic"
+	"compsynth/internal/paths"
+	"compsynth/internal/simulate"
+	"compsynth/internal/subckt"
+)
+
+// Objective selects the optimization target.
+type Objective int
+
+// Objectives.
+const (
+	MinGates Objective = iota // Procedure 2
+	MinPaths                  // Procedure 3
+	Combined                  // Section 4.3: gates and paths together
+)
+
+func (o Objective) String() string {
+	switch o {
+	case MinGates:
+		return "min-gates"
+	case MinPaths:
+		return "min-paths"
+	case Combined:
+		return "combined"
+	}
+	return "?"
+}
+
+// Options configures the optimizer.
+type Options struct {
+	K             int       // subcircuit input limit (paper: 5 or 6)
+	Objective     Objective // which procedure to run
+	MaxCandidates int       // candidate subcircuits per gate output
+	MaxSpecs      int       // unit realizations considered per function
+	MaxPasses     int       // fixpoint iteration cap
+	Verify        bool      // check equivalence after every pass
+	Merge         bool      // merge same-type chain gates (Figure 4)
+
+	// UseSampling switches identification to the paper's experimental
+	// method: up to SamplingPerms random permutations, onset and offset.
+	UseSampling   bool
+	SamplingPerms int
+
+	// MaxUnits > 1 enables the paper's Section 6 extension: when no single
+	// comparison unit realizes a candidate function, try an OR of up to
+	// MaxUnits units over a common permutation (MultiPerms tried).
+	MaxUnits   int
+	MultiPerms int
+
+	// UseSDC enables the paper's Section 6 extension (1): input
+	// combinations that can never occur at a candidate's inputs are
+	// treated as don't-cares during identification. Exact reachability is
+	// computed by exhaustive simulation, so the mode only engages on
+	// circuits with at most SDCMaxInputs primary inputs (default 14).
+	UseSDC       bool
+	SDCMaxInputs int
+
+	// CombinedGateWeight scales gate savings against path savings for the
+	// Combined objective: measure = pathSaving + W * gateSaving.
+	CombinedGateWeight float64
+
+	Seed int64
+}
+
+// DefaultOptions returns the paper's experimental configuration (K=5).
+func DefaultOptions() Options {
+	return Options{
+		K:             5,
+		Objective:     MinGates,
+		MaxCandidates: 32,
+		MaxSpecs:      8,
+		MaxPasses:     16,
+		Verify:        true,
+		Merge:         true,
+		SamplingPerms: 200,
+		Seed:          1995,
+
+		MaxUnits:   1,
+		MultiPerms: 60,
+
+		SDCMaxInputs: 14,
+
+		CombinedGateWeight: 4,
+	}
+}
+
+// Result reports an optimization run.
+type Result struct {
+	Circuit      *circuit.Circuit
+	Passes       int
+	Replacements int
+	GatesBefore  int
+	GatesAfter   int
+	PathsBefore  uint64
+	PathsAfter   uint64
+}
+
+func (r *Result) String() string {
+	return fmt.Sprintf("passes=%d repl=%d gates %d->%d paths %d->%d",
+		r.Passes, r.Replacements, r.GatesBefore, r.GatesAfter, r.PathsBefore, r.PathsAfter)
+}
+
+// Optimize runs the selected procedure on a copy of c until no further
+// improvement. The input circuit is not modified.
+func Optimize(c *circuit.Circuit, opt Options) (*Result, error) {
+	if opt.K <= 0 || opt.MaxPasses <= 0 {
+		return nil, fmt.Errorf("resynth: invalid options K=%d passes=%d", opt.K, opt.MaxPasses)
+	}
+	poNames := c.PONames()
+	work := c.Clone()
+	work.Simplify()
+	work, _ = work.Compact()
+	res := &Result{
+		GatesBefore: c.Equiv2Count(),
+		PathsBefore: paths.MustCount(c),
+	}
+	o := &optimizer{
+		opt:        opt,
+		cache:      map[string]cachedSpec{},
+		multiCache: map[string]cachedMulti{},
+		rng:        rand.New(rand.NewSource(opt.Seed)),
+	}
+	for pass := 0; pass < opt.MaxPasses; pass++ {
+		before := work.Clone()
+		n := o.pass(work)
+		res.Passes++
+		res.Replacements += n
+		work.Simplify()
+		work, _ = work.Compact()
+		if opt.Verify && !simulate.EquivalentRandom(before, work, 32, 14, opt.Seed+int64(pass)) {
+			return nil, fmt.Errorf("resynth: pass %d broke equivalence", pass)
+		}
+		if n == 0 {
+			break
+		}
+	}
+	work.PreservePONames(poNames)
+	res.Circuit = work
+	res.GatesAfter = work.Equiv2Count()
+	res.PathsAfter = paths.MustCount(work)
+	return res, nil
+}
+
+type cachedSpec struct {
+	spec compare.Spec
+	ok   bool
+}
+
+type cachedMulti struct {
+	spec compare.MultiSpec
+	ok   bool
+}
+
+type optimizer struct {
+	opt        Options
+	cache      map[string]cachedSpec
+	multiCache map[string]cachedMulti
+	rng        *rand.Rand
+	db         *subckt.CutDB
+
+	// SDC state, rebuilt per pass when enabled.
+	valbits   map[int][]uint64 // node -> value over all 2^nPI patterns
+	careCache map[string]logic.TT
+}
+
+// pass performs one output-to-input sweep and returns the replacement count.
+func (o *optimizer) pass(c *circuit.Circuit) int {
+	o.db = subckt.ComputeCuts(c, o.opt.K, o.opt.MaxCandidates)
+	o.prepareSDC(c)
+	np, npOK := paths.Labels(c)
+	topo := c.Topo()
+	marked := make(map[int]bool)
+	for _, out := range c.Outputs {
+		marked[out] = true
+	}
+	replaced := 0
+	for i := len(topo) - 1; i >= 0; i-- {
+		g := topo[i]
+		if !c.Alive(g) || !marked[g] {
+			continue
+		}
+		nd := c.Nodes[g]
+		if nd.Type == circuit.Input || nd.Type == circuit.Const0 || nd.Type == circuit.Const1 {
+			continue
+		}
+		best := o.selectReplacement(c, g, np, npOK)
+		if best != nil {
+			o.apply(c, best)
+			replaced++
+			for _, in := range best.sub.Inputs {
+				marked[in] = true
+			}
+		} else {
+			for _, f := range nd.Fanin {
+				marked[f] = true
+			}
+		}
+	}
+	return replaced
+}
+
+// candidate pairs a subcircuit with its chosen unit realization and costs.
+type candidate struct {
+	sub        *subckt.Subcircuit
+	spec       compare.Realization
+	keepInputs []int // host node IDs for the spec's variables, in order
+	gateSave   int   // N - N'
+	pathsOnG   uint64
+}
+
+// selectReplacement evaluates all candidates for gate output g and returns
+// the chosen replacement, or nil to keep the existing logic.
+func (o *optimizer) selectReplacement(c *circuit.Circuit, g int, np []uint64, npOK bool) *candidate {
+	subs := o.db.EnumerateFromCuts(c, g)
+	oldPathsOnG := np[g]
+	var best *candidate
+	better := func(a, b *candidate) bool { // is a better than b?
+		switch o.opt.Objective {
+		case MinGates:
+			if a.gateSave != b.gateSave {
+				return a.gateSave > b.gateSave
+			}
+			return a.pathsOnG < b.pathsOnG
+		case MinPaths:
+			if a.pathsOnG != b.pathsOnG {
+				return a.pathsOnG < b.pathsOnG
+			}
+			return a.gateSave > b.gateSave
+		default: // Combined
+			ma := float64(int64(oldPathsOnG)-int64(a.pathsOnG)) + o.opt.CombinedGateWeight*float64(a.gateSave)
+			mb := float64(int64(oldPathsOnG)-int64(b.pathsOnG)) + o.opt.CombinedGateWeight*float64(b.gateSave)
+			return ma > mb
+		}
+	}
+	for _, sub := range subs {
+		tt := sub.Extract(c)
+		// Drop inputs the function does not depend on: they contribute no
+		// logic and their paths disappear entirely.
+		stt, kept := tt.Shrink()
+		if stt.Vars() == 0 {
+			continue // constant function: left to Simplify
+		}
+		var spec compare.Realization
+		single, ok := o.identify(stt)
+		spec = single
+		if !ok && o.valbits != nil {
+			// Reachability don't-cares may still admit a single unit.
+			keep := make([]int, len(kept))
+			for j, v := range kept {
+				keep[j] = sub.Inputs[v-1]
+			}
+			care := o.careSet(keep)
+			if !care.IsConst(true) {
+				single, ok = compare.IdentifyDC(stt, care)
+				spec = single
+			}
+		}
+		if !ok && o.opt.MaxUnits > 1 {
+			var multi compare.MultiSpec
+			multi, ok = o.identifyMulti(stt)
+			spec = multi
+		}
+		if !ok {
+			continue
+		}
+		keepInputs := make([]int, len(kept))
+		subNp := make([]uint64, len(kept))
+		for j, v := range kept {
+			keepInputs[j] = sub.Inputs[v-1]
+			subNp[j] = np[keepInputs[j]]
+		}
+		cand := &candidate{
+			sub:        sub,
+			spec:       spec,
+			keepInputs: keepInputs,
+			gateSave:   sub.GateSavings(c) - spec.GateCost(),
+			pathsOnG:   spec.PathCost(subNp),
+		}
+		// Try alternative realizations when available.
+		if o.opt.MaxSpecs > 1 && !o.opt.UseSampling {
+			for _, alt := range compare.IdentifyAll(stt, o.opt.MaxSpecs) {
+				ac := *cand
+				ac.spec = alt
+				ac.gateSave = sub.GateSavings(c) - alt.GateCost()
+				ac.pathsOnG = alt.PathCost(subNp)
+				if better(&ac, cand) {
+					*cand = ac
+				}
+			}
+		}
+		if best == nil || better(cand, best) {
+			best = cand
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	// Only rewrite when the objective strictly improves (the identity
+	// replacement keeps the circuit unchanged otherwise).
+	switch o.opt.Objective {
+	case MinGates:
+		if best.gateSave > 0 || (best.gateSave == 0 && npOK && best.pathsOnG < oldPathsOnG) {
+			return best
+		}
+	case MinPaths:
+		if npOK && best.pathsOnG < oldPathsOnG {
+			return best
+		}
+	default:
+		m := float64(int64(oldPathsOnG)-int64(best.pathsOnG)) + o.opt.CombinedGateWeight*float64(best.gateSave)
+		if m > 0 {
+			return best
+		}
+	}
+	return nil
+}
+
+// prepareSDC precomputes every node's value over the full primary-input
+// space (64 patterns per word) when the SDC mode is engaged.
+func (o *optimizer) prepareSDC(c *circuit.Circuit) {
+	o.valbits = nil
+	o.careCache = nil
+	nPI := len(c.Inputs)
+	max := o.opt.SDCMaxInputs
+	if max <= 0 {
+		max = 14
+	}
+	if !o.opt.UseSDC || nPI > max || nPI >= 30 {
+		return
+	}
+	total := 1 << nPI
+	words := (total + 63) / 64
+	o.valbits = make(map[int][]uint64, c.NumLive())
+	o.careCache = map[string]logic.TT{}
+	sim := simulate.New(c)
+	for w := 0; w < words; w++ {
+		for j := 0; j < nPI; j++ {
+			var word uint64
+			for b := 0; b < 64; b++ {
+				if (uint64(w*64+b)>>uint(j))&1 == 1 {
+					word |= 1 << b
+				}
+			}
+			sim.SetInput(j, word)
+		}
+		sim.Run()
+		for _, id := range c.Topo() {
+			if o.valbits[id] == nil {
+				o.valbits[id] = make([]uint64, words)
+			}
+			o.valbits[id][w] = sim.Words[id]
+		}
+	}
+}
+
+// careSet projects the reachable primary-input space onto the given input
+// nodes: bit m of the result is 1 iff some PI pattern drives the inputs to
+// the combination m (MSB-first order, matching Extract).
+func (o *optimizer) careSet(inputs []int) logic.TT {
+	key := ""
+	for _, id := range inputs {
+		key += fmt.Sprintf("%d,", id)
+	}
+	if tt, ok := o.careCache[key]; ok {
+		return tt
+	}
+	n := len(inputs)
+	care := logic.New(n)
+	var totalPat int
+	for _, bits := range o.valbits {
+		totalPat = len(bits) * 64
+		break
+	}
+	for p := 0; p < totalPat; p++ {
+		idx := 0
+		for j, id := range inputs {
+			if o.valbits[id][p>>6]&(1<<(p&63)) != 0 {
+				idx |= 1 << (n - 1 - j)
+			}
+		}
+		care.Set(idx, true)
+	}
+	o.careCache[key] = care
+	return care
+}
+
+// identifyMulti finds a multi-unit realization (Section 6 extension), with
+// memoization.
+func (o *optimizer) identifyMulti(tt logic.TT) (compare.MultiSpec, bool) {
+	key := fmt.Sprintf("%d:%x", tt.Vars(), tt.Words())
+	if r, ok := o.multiCache[key]; ok {
+		return r.spec, r.ok
+	}
+	spec, ok := compare.IdentifyMulti(tt, o.opt.MaxUnits, o.opt.MultiPerms, o.rng)
+	o.multiCache[key] = cachedMulti{spec, ok}
+	return spec, ok
+}
+
+// identify finds a unit realization for tt, via the exact search or the
+// paper's sampling method, with memoization.
+func (o *optimizer) identify(tt logic.TT) (compare.Spec, bool) {
+	key := fmt.Sprintf("%d:%x", tt.Vars(), tt.Words())
+	if r, ok := o.cache[key]; ok {
+		return r.spec, r.ok
+	}
+	var spec compare.Spec
+	var ok bool
+	if o.opt.UseSampling {
+		spec, ok = compare.IdentifySampling(tt, o.opt.SamplingPerms, o.rng)
+	} else {
+		spec, ok = compare.IdentifyBest(tt)
+	}
+	o.cache[key] = cachedSpec{spec, ok}
+	return spec, ok
+}
+
+// apply builds the unit, rewires g's consumers to it and sweeps dead logic.
+func (o *optimizer) apply(c *circuit.Circuit, cand *candidate) {
+	out := cand.spec.Build(c, cand.keepInputs, compare.BuildOptions{
+		Merge:      o.opt.Merge,
+		NamePrefix: fmt.Sprintf("cu%d_", cand.sub.Out),
+	})
+	if out == cand.sub.Out {
+		return
+	}
+	c.ReplaceUses(cand.sub.Out, out)
+	c.SweepDead()
+}

@@ -1,0 +1,130 @@
+// Package simulate provides 64-way pattern-parallel logic simulation of
+// combinational circuits, the workhorse behind function extraction, fault
+// simulation and equivalence checking.
+package simulate
+
+import (
+	"math/rand"
+
+	"compsynth/internal/circuit"
+)
+
+// Sim holds per-node 64-pattern words for one circuit.
+type Sim struct {
+	C     *circuit.Circuit
+	Words []uint64 // indexed by node ID
+	topo  []int
+	buf   []uint64
+}
+
+// New prepares a simulator for c.
+func New(c *circuit.Circuit) *Sim {
+	return &Sim{C: c, Words: make([]uint64, len(c.Nodes)), topo: c.Topo()}
+}
+
+// SetInput assigns the 64-pattern word of primary input index j (input
+// order, not node ID).
+func (s *Sim) SetInput(j int, w uint64) {
+	s.Words[s.C.Inputs[j]] = w
+}
+
+// Run evaluates all gates for the current input words.
+func (s *Sim) Run() {
+	for _, id := range s.topo {
+		nd := s.C.Nodes[id]
+		if nd.Type == circuit.Input {
+			continue
+		}
+		s.buf = s.buf[:0]
+		for _, f := range nd.Fanin {
+			s.buf = append(s.buf, s.Words[f])
+		}
+		s.Words[id] = nd.Type.EvalWords(s.buf)
+	}
+}
+
+// Output returns the word of primary output index j.
+func (s *Sim) Output(j int) uint64 {
+	return s.Words[s.C.Outputs[j]]
+}
+
+// Outputs copies all PO words into dst (allocating if nil).
+func (s *Sim) Outputs(dst []uint64) []uint64 {
+	if dst == nil {
+		dst = make([]uint64, len(s.C.Outputs))
+	}
+	for j, o := range s.C.Outputs {
+		dst[j] = s.Words[o]
+	}
+	return dst
+}
+
+// RandomPatterns fills the inputs with rng-driven words.
+func (s *Sim) RandomPatterns(rng *rand.Rand) {
+	for _, in := range s.C.Inputs {
+		s.Words[in] = rng.Uint64()
+	}
+}
+
+// EquivalentRandom checks functional equivalence of a and b (same PI and PO
+// counts, positional correspondence) with rounds*64 random patterns followed
+// by an exhaustive check when the input count is at most maxExhaustive.
+// It returns false as soon as a differing pattern is found.
+func EquivalentRandom(a, b *circuit.Circuit, rounds int, maxExhaustive int, seed int64) bool {
+	if len(a.Inputs) != len(b.Inputs) || len(a.Outputs) != len(b.Outputs) {
+		return false
+	}
+	n := len(a.Inputs)
+	sa, sb := New(a), New(b)
+	if n <= maxExhaustive && n < 30 {
+		return equivalentExhaustive(sa, sb, n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for r := 0; r < rounds; r++ {
+		for j := 0; j < n; j++ {
+			w := rng.Uint64()
+			sa.SetInput(j, w)
+			sb.SetInput(j, w)
+		}
+		sa.Run()
+		sb.Run()
+		for j := range a.Outputs {
+			if sa.Output(j) != sb.Output(j) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func equivalentExhaustive(sa, sb *Sim, n int) bool {
+	total := uint64(1) << n
+	for base := uint64(0); base < total; base += 64 {
+		for j := 0; j < n; j++ {
+			var w uint64
+			for b := uint64(0); b < 64 && base+b < total; b++ {
+				if (base+b)>>(uint(j))&1 == 1 {
+					w |= 1 << b
+				}
+			}
+			sa.SetInput(j, w)
+			sb.SetInput(j, w)
+		}
+		sa.Run()
+		sb.Run()
+		for j := range sa.C.Outputs {
+			m := mask64(total - base)
+			if (sa.Output(j)^sb.Output(j))&m != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func mask64(remaining uint64) uint64 {
+	if remaining >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << remaining) - 1
+}

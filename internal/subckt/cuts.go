@@ -1,0 +1,202 @@
+package subckt
+
+import (
+	"sort"
+
+	"compsynth/internal/circuit"
+)
+
+// K-feasible cut enumeration (the standard technology-mapping algorithm).
+//
+// A cut of gate g is a set of lines such that every path from the primary
+// inputs to g passes through a line of the set; the gates strictly between
+// the cut and g form a single-output subcircuit with the cut as its inputs.
+// Cuts reach through arbitrarily wide gates, which the incremental growth of
+// Enumerate cannot (a 6-input gate's trivial subcircuit already has 6
+// inputs), so the optimizer enumerates candidates from cuts.
+//
+// cuts(PI)       = { {PI} }
+// cuts(constant) = { {} }
+// cuts(gate g)   = { {g} } ∪ { c1 ∪ ... ∪ ck : ci ∈ cuts(fanin_i) },
+// keeping only sets of at most K lines, capped per node by cut count.
+
+// CutDB holds the K-feasible cuts of every node of one circuit snapshot.
+type CutDB struct {
+	K    int
+	cuts [][][]int // per node: list of cuts; each cut is sorted node IDs
+}
+
+// ComputeCuts enumerates up to maxCuts K-feasible cuts per node, smallest
+// first. maxCuts <= 0 selects a default of 64.
+func ComputeCuts(c *circuit.Circuit, k, maxCuts int) *CutDB {
+	if maxCuts <= 0 {
+		maxCuts = 64
+	}
+	db := &CutDB{K: k, cuts: make([][][]int, len(c.Nodes))}
+	for _, id := range c.Topo() {
+		nd := c.Nodes[id]
+		switch nd.Type {
+		case circuit.Input:
+			db.cuts[id] = [][]int{{id}}
+		case circuit.Const0, circuit.Const1:
+			db.cuts[id] = [][]int{{}}
+		default:
+			merged := [][]int{{id}} // the trivial cut
+			// Cartesian merge across fanins, width-capped.
+			acc := [][]int{{}}
+			for _, f := range nd.Fanin {
+				var next [][]int
+				for _, a := range acc {
+					for _, cf := range db.cuts[f] {
+						u := unionSorted(a, cf, k)
+						if u != nil {
+							next = append(next, u)
+						}
+						if len(next) > 4*maxCuts {
+							break
+						}
+					}
+					if len(next) > 4*maxCuts {
+						break
+					}
+				}
+				acc = dedupeCuts(next)
+				if len(acc) > 2*maxCuts {
+					sortCuts(acc)
+					acc = acc[:2*maxCuts]
+				}
+				if len(acc) == 0 {
+					break
+				}
+			}
+			merged = append(merged, acc...)
+			merged = dedupeCuts(merged)
+			sortCuts(merged)
+			if len(merged) > maxCuts {
+				merged = merged[:maxCuts]
+			}
+			db.cuts[id] = merged
+		}
+	}
+	return db
+}
+
+// Cuts returns the cuts of node id (shared storage; do not mutate).
+func (db *CutDB) Cuts(id int) [][]int { return db.cuts[id] }
+
+// unionSorted merges two sorted sets, returning nil if the union exceeds k.
+func unionSorted(a, b []int, k int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j >= len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i >= len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+		if len(out) > k {
+			return nil
+		}
+	}
+	return out
+}
+
+func dedupeCuts(cs [][]int) [][]int {
+	seen := map[string]bool{}
+	out := cs[:0]
+	for _, c := range cs {
+		k := cutKey(c)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func cutKey(c []int) string {
+	b := make([]byte, 0, len(c)*3)
+	for _, id := range c {
+		b = append(b, byte(id), byte(id>>8), byte(id>>16))
+	}
+	return string(b)
+}
+
+func sortCuts(cs [][]int) {
+	sort.Slice(cs, func(i, j int) bool {
+		if len(cs[i]) != len(cs[j]) {
+			return len(cs[i]) < len(cs[j])
+		}
+		for x := range cs[i] {
+			if cs[i][x] != cs[j][x] {
+				return cs[i][x] < cs[j][x]
+			}
+		}
+		return false
+	})
+}
+
+// SubcircuitFor materializes the subcircuit induced by a cut of g: all gates
+// on paths between the cut lines and g. Returns nil for the trivial cut {g}
+// or when the cut yields no gates.
+func SubcircuitFor(c *circuit.Circuit, g int, cut []int) *Subcircuit {
+	if !c.Alive(g) {
+		return nil
+	}
+	inCut := map[int]bool{}
+	for _, id := range cut {
+		if !c.Alive(id) {
+			return nil
+		}
+		inCut[id] = true
+	}
+	if inCut[g] {
+		return nil
+	}
+	gates := map[int]bool{}
+	var walk func(id int) bool
+	walk = func(id int) bool {
+		if inCut[id] {
+			return true
+		}
+		if gates[id] {
+			return true
+		}
+		nd := c.Nodes[id]
+		if nd.Type == circuit.Input {
+			return false // a path escapes the cut: not a valid cover
+		}
+		gates[id] = true
+		for _, f := range nd.Fanin {
+			if !walk(f) {
+				return false
+			}
+		}
+		return true
+	}
+	if !walk(g) {
+		return nil
+	}
+	return newSub(c, g, gates)
+}
+
+// EnumerateFromCuts generates the candidate subcircuits of g from its cut
+// set. The single-gate candidate (cut = fanins of g) comes first when it is
+// K-feasible.
+func (db *CutDB) EnumerateFromCuts(c *circuit.Circuit, g int) []*Subcircuit {
+	var out []*Subcircuit
+	for _, cut := range db.cuts[g] {
+		s := SubcircuitFor(c, g, cut)
+		if s != nil && len(s.Inputs) > 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+// Package subckt enumerates candidate subcircuits for replacement and
+// extracts the functions they implement (Section 4.1 of the paper).
+//
+// A candidate C' is a set of gates with a designated output g. Its inputs I'
+// are the lines that feed gates of C' from outside. Starting from the single
+// gate driving g, candidates grow by absorbing a gate that drives one of the
+// current inputs, as long as the input count stays within the limit K.
+package subckt
+
+import (
+	"sort"
+
+	"compsynth/internal/circuit"
+	"compsynth/internal/logic"
+)
+
+// Subcircuit is one candidate C' with output Out.
+type Subcircuit struct {
+	Out    int          // output node ID (a gate of the host circuit)
+	Gates  map[int]bool // node IDs inside C' (includes absorbed constants)
+	Inputs []int        // external driving node IDs, sorted ascending
+}
+
+// Options bounds the enumeration.
+type Options struct {
+	// MaxInputs is K, the input limit for candidate subcircuits.
+	MaxInputs int
+	// MaxCandidates caps the number of candidates generated per output
+	// (0 = unlimited). The paper's enumeration is exhaustive; the cap keeps
+	// worst-case gates from dominating runtime.
+	MaxCandidates int
+}
+
+// DefaultOptions matches the paper's experiments (K = 5).
+func DefaultOptions() Options {
+	return Options{MaxInputs: 5, MaxCandidates: 300}
+}
+
+// Enumerate generates the candidate subcircuits with output g, in expansion
+// order, starting with the single-gate subcircuit. g must be a gate output.
+func Enumerate(c *circuit.Circuit, g int, opt Options) []*Subcircuit {
+	nd := c.Nodes[g]
+	if nd.Type == circuit.Input {
+		panic("subckt: enumeration from a primary input")
+	}
+	first := newSub(c, g, map[int]bool{g: true})
+	if len(first.Inputs) > opt.MaxInputs {
+		return nil
+	}
+	out := []*Subcircuit{first}
+	seen := map[string]bool{first.key(): true}
+	for i := 0; i < len(out); i++ {
+		if opt.MaxCandidates > 0 && len(out) >= opt.MaxCandidates {
+			break
+		}
+		cur := out[i]
+		for _, in := range cur.Inputs {
+			h := c.Nodes[in]
+			if h.Type == circuit.Input {
+				continue
+			}
+			gates := make(map[int]bool, len(cur.Gates)+1)
+			for id := range cur.Gates {
+				gates[id] = true
+			}
+			gates[in] = true
+			cand := newSub(c, g, gates)
+			if len(cand.Inputs) > opt.MaxInputs || len(cand.Inputs) == 0 {
+				continue
+			}
+			k := cand.key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			out = append(out, cand)
+			if opt.MaxCandidates > 0 && len(out) >= opt.MaxCandidates {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// newSub computes the input set and absorbs constant drivers.
+func newSub(c *circuit.Circuit, g int, gates map[int]bool) *Subcircuit {
+	// Constants inside cost nothing and have fixed values; absorb them so
+	// they never occupy input slots.
+	inSet := map[int]bool{}
+	for id := range gates {
+		for _, f := range c.Nodes[id].Fanin {
+			if gates[f] {
+				continue
+			}
+			t := c.Nodes[f].Type
+			if t == circuit.Const0 || t == circuit.Const1 {
+				gates[f] = true
+				continue
+			}
+			inSet[f] = true
+		}
+	}
+	inputs := make([]int, 0, len(inSet))
+	for id := range inSet {
+		inputs = append(inputs, id)
+	}
+	sort.Ints(inputs)
+	return &Subcircuit{Out: g, Gates: gates, Inputs: inputs}
+}
+
+func (s *Subcircuit) key() string {
+	ids := make([]int, 0, len(s.Gates))
+	for id := range s.Gates {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	b := make([]byte, 0, len(ids)*3)
+	for _, id := range ids {
+		b = append(b, byte(id), byte(id>>8), byte(id>>16))
+	}
+	return string(b)
+}
+
+// Extract computes the truth table of the function C' implements on Out,
+// over the inputs in Subcircuit.Inputs order (input j = variable y_{j+1},
+// most significant first, per the logic package convention).
+func (s *Subcircuit) Extract(c *circuit.Circuit) logic.TT {
+	n := len(s.Inputs)
+	tt := logic.New(n)
+	// Evaluate internal gates in host topological order, 64 minterms at a
+	// time, driving each input with its variable pattern.
+	varTT := make([]logic.TT, n)
+	for j := 0; j < n; j++ {
+		varTT[j] = logic.Var(n, j+1)
+	}
+	words := map[int]uint64{}
+	order := s.topoInside(c)
+	nWords := (tt.Size() + 63) / 64
+	for w := 0; w < nWords; w++ {
+		for j, in := range s.Inputs {
+			words[in] = varTT[j].Words()[w]
+		}
+		var buf []uint64
+		for _, id := range order {
+			nd := c.Nodes[id]
+			buf = buf[:0]
+			for _, f := range nd.Fanin {
+				buf = append(buf, words[f])
+			}
+			words[id] = nd.Type.EvalWords(buf)
+		}
+		out := words[s.Out]
+		copy(tt.Words()[w:w+1], []uint64{out})
+	}
+	// Trim invalid high bits for n < 6.
+	if n < 6 {
+		mask := (uint64(1) << (1 << n)) - 1
+		tt.Words()[0] &= mask
+	}
+	return tt
+}
+
+// topoInside returns the subcircuit's gates in topological order.
+func (s *Subcircuit) topoInside(c *circuit.Circuit) []int {
+	order := make([]int, 0, len(s.Gates))
+	state := map[int]int{} // 0 unseen, 1 visiting, 2 done
+	var visit func(id int)
+	visit = func(id int) {
+		if !s.Gates[id] || state[id] == 2 {
+			return
+		}
+		if state[id] == 1 {
+			panic("subckt: cycle inside subcircuit")
+		}
+		state[id] = 1
+		for _, f := range c.Nodes[id].Fanin {
+			visit(f)
+		}
+		state[id] = 2
+		order = append(order, id)
+	}
+	visit(s.Out)
+	// Gates unreachable from Out (can happen when an absorbed gate only
+	// feeds outside) are appended; they do not affect the function.
+	for id := range s.Gates {
+		visit(id)
+	}
+	return order
+}
+
+// Removable returns the set of gates that disappear if C' is replaced by a
+// new realization driving Out: a gate is removable iff it is not a PO driver
+// (Out excepted: its consumers are rewired to the replacement) and every
+// fanout pin goes to a removable gate of C'. This implements the paper's
+// "common gates are not included in the count N".
+func (s *Subcircuit) Removable(c *circuit.Circuit) map[int]bool {
+	rm := map[int]bool{s.Out: true}
+	for {
+		changed := false
+		for id := range s.Gates {
+			if rm[id] || id == s.Out {
+				continue
+			}
+			if c.NumPOUses(id) > 0 {
+				continue
+			}
+			ok := true
+			for _, consumer := range c.Fanouts(id) {
+				if !rm[consumer] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				rm[id] = true
+				changed = true
+			}
+		}
+		if !changed {
+			return rm
+		}
+	}
+}
+
+// GateSavings returns the equivalent-2-input weight of the removable gates:
+// the paper's N for this candidate.
+func (s *Subcircuit) GateSavings(c *circuit.Circuit) int {
+	n := 0
+	for id := range s.Removable(c) {
+		nd := c.Nodes[id]
+		n += circuit.Equiv2Weight(nd.Type, len(nd.Fanin))
+	}
+	return n
+}

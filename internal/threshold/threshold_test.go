@@ -1,0 +1,107 @@
+package threshold
+
+import (
+	"testing"
+
+	"compsynth/internal/compare"
+	"compsynth/internal/logic"
+)
+
+func TestGeqGateMatchesInterval(t *testing.T) {
+	// The >=L threshold gate's table is exactly the [L, 2^n-1] interval.
+	for n := 1; n <= 6; n++ {
+		for l := 0; l <= 1<<n-1; l++ {
+			got := GeqGate(n, l).Table()
+			want := logic.FromInterval(n, l, 1<<n-1)
+			if !got.Equal(want) {
+				t.Fatalf("n=%d L=%d: %s != %s", n, l, got, want)
+			}
+		}
+	}
+}
+
+func TestUnitTableMatchesInterval(t *testing.T) {
+	// Section 3.1 composition: AND of >=L gate and complemented >=U+1 gate
+	// equals the comparison function [L,U].
+	for n := 1; n <= 5; n++ {
+		for l := 0; l < 1<<n; l++ {
+			for u := l; u < 1<<n; u++ {
+				got := UnitTable(n, l, u)
+				want := logic.FromInterval(n, l, u)
+				if !got.Equal(want) {
+					t.Fatalf("n=%d [%d,%d]: mismatch", n, l, u)
+				}
+			}
+		}
+	}
+}
+
+func TestUnitTableMatchesBuiltUnit(t *testing.T) {
+	// The threshold view and the gate-level comparison unit agree.
+	for _, bounds := range [][2]int{{5, 10}, {3, 15}, {0, 12}, {11, 12}, {7, 7}} {
+		s := compare.Spec{N: 4, Perm: []int{0, 1, 2, 3}, L: bounds[0], U: bounds[1]}
+		c := s.BuildStandalone("u", compare.BuildOptions{Merge: true})
+		tt := UnitTable(4, bounds[0], bounds[1])
+		for m := 0; m < 16; m++ {
+			in := []bool{m&8 != 0, m&4 != 0, m&2 != 0, m&1 != 0}
+			if c.Eval(in)[0] != tt.Get(m) {
+				t.Fatalf("[%d,%d] minterm %d: unit and threshold disagree", bounds[0], bounds[1], m)
+			}
+		}
+	}
+}
+
+func TestThresholdGatesAreUnate(t *testing.T) {
+	for n := 1; n <= 5; n++ {
+		for l := 0; l <= 1<<n-1; l++ {
+			if !IsUnate(GeqGate(n, l)) {
+				t.Fatalf("GeqGate(%d,%d) not unate", n, l)
+			}
+		}
+	}
+}
+
+func TestEvalDirect(t *testing.T) {
+	g := Gate{Weights: []int{4, 2, 1}, T: 5}
+	cases := []struct {
+		in   []bool
+		want bool
+	}{
+		{[]bool{true, false, true}, true}, // 5 >= 5
+		{[]bool{true, false, false}, false},
+		{[]bool{true, true, false}, true},
+		{[]bool{false, true, true}, false},
+	}
+	for _, c := range cases {
+		if g.Eval(c.in) != c.want {
+			t.Errorf("Eval(%v) = %v, want %v", c.in, g.Eval(c.in), c.want)
+		}
+	}
+}
+
+func TestNegativeWeightUnate(t *testing.T) {
+	// A gate with a negative weight is negative-unate in that input.
+	g := Gate{Weights: []int{-2, 1}, T: 0}
+	if !IsUnate(g) {
+		t.Fatal("mixed-weight threshold gate should still be unate per input")
+	}
+}
+
+func TestGateString(t *testing.T) {
+	g := GeqGate(3, 5)
+	if g.String() != "thr{w=[4 2 1] T=5}" {
+		t.Fatalf("String = %q", g.String())
+	}
+}
+
+func TestLeqComplementSemantics(t *testing.T) {
+	// The complement of the T=U+1 gate accepts exactly values <= U.
+	for u := 0; u < 8; u++ {
+		tt := LeqGateComplement(3, u).Table().Not()
+		for m := 0; m < 8; m++ {
+			if tt.Get(m) != (m <= u) {
+				t.Fatalf("u=%d m=%d", u, m)
+			}
+		}
+	}
+}

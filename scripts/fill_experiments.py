@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Splice a cmd/tables run into EXPERIMENTS.md.
+
+Usage: python3 scripts/fill_experiments.py tables_output.txt
+"""
+import re
+import sys
+
+
+def main():
+    src = open(sys.argv[1]).read()
+    md = open("EXPERIMENTS.md").read()
+
+    suite = "\n".join(l for l in src.splitlines() if l.startswith("#   ")) or "(missing)"
+    md = md.replace("<!-- SUITE -->", "```\n" + suite + "\n```")
+
+    def grab(title, stop):
+        m = re.search(re.escape(title) + r".*?(?=" + re.escape(stop) + ")", src, re.S)
+        return m.group(0).rstrip() if m else "(table missing from run)"
+
+    md = md.replace("<!-- TABLE2 -->", "```\n" + grab("Table 2:", "# table 2") + "\n```")
+    md = md.replace("<!-- TABLE3 -->", "```\n" + grab("Table 3:", "# table 3") + "\n```")
+    md = md.replace("<!-- TABLE4 -->", "```\n" + grab("Table 4(a):", "# table 4") + "\n```")
+    md = md.replace("<!-- TABLE5 -->", "```\n" + grab("Table 5:", "# table 5") + "\n```")
+    md = md.replace("<!-- TABLE6 -->", "```\n" + grab("Table 6:", "# table 6") + "\n```")
+    md = md.replace("<!-- TABLE7 -->", "```\n" + grab("Table 7:", "# table 7") + "\n```")
+
+    scale = re.search(r"scale=([0-9.]+)", src)
+    total = re.search(r"# total (.+)", src)
+    header = (
+        "Recorded run: `go run ./cmd/tables -scale %s` "
+        "(wall clock %s, single core).\n" % (
+            scale.group(1) if scale else "?",
+            total.group(1) if total else "?",
+        )
+    )
+    md = md.replace(
+        "Reproduction commands:",
+        header + "\nReproduction commands:",
+        1,
+    )
+    open("EXPERIMENTS.md", "w").write(md)
+    print("EXPERIMENTS.md updated")
+
+
+if __name__ == "__main__":
+    main()

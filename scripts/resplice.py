@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Replace the measured blocks in EXPERIMENTS.md with a newer tables run.
+
+Usage: python3 scripts/resplice.py tables_output.txt
+"""
+import re
+import sys
+
+
+def main():
+    src = open(sys.argv[1]).read()
+    md = open("EXPERIMENTS.md").read()
+
+    suite = "\n".join(l for l in src.splitlines() if l.startswith("#   "))
+    md = re.sub(r"```\n#   rs1423.*?```", "```\n" + suite + "\n```", md, flags=re.S)
+
+    for title, stop in [
+        ("Table 2:", "# table 2"), ("Table 3:", "# table 3"),
+        ("Table 4\\(a\\):", "# table 4"), ("Table 5:", "# table 5"),
+        ("Table 6:", "# table 6"), ("Table 7:", "# table 7"),
+    ]:
+        m = re.search(title + r".*?(?=" + stop + ")", src, re.S)
+        if not m:
+            continue
+        block = m.group(0).rstrip()
+        md = re.sub(r"```\n" + title + r".*?```",
+                    "```\n" + block + "\n```", md, flags=re.S)
+
+    scale = re.search(r"scale=([0-9.]+)", src)
+    total = re.search(r"# total (.+)", src)
+    if scale and total:
+        md = re.sub(r"Recorded run: .*\n",
+                    "Recorded run: `go run ./cmd/tables -scale %s` "
+                    "(wall clock %s, single core).\n" % (scale.group(1), total.group(1)),
+                    md)
+    open("EXPERIMENTS.md", "w").write(md)
+    print("EXPERIMENTS.md re-spliced")
+
+
+if __name__ == "__main__":
+    main()
