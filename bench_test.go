@@ -16,6 +16,7 @@ import (
 	"compsynth/internal/faultsim"
 	"compsynth/internal/gen"
 	"compsynth/internal/logic"
+	"compsynth/internal/obs"
 	"compsynth/internal/paths"
 	"compsynth/internal/rambo"
 	"compsynth/internal/resynth"
@@ -248,6 +249,27 @@ func BenchmarkAblationComplement(b *testing.B) {
 			b.Logf("with complements: %v", res)
 		}
 	}
+}
+
+// BenchmarkObservabilityOverhead measures what the internal/obs
+// instrumentation costs resynthesis: "off" is the production default (nil
+// tracer, counters still ticking), "on" records the full span tree with
+// allocation tracking. The "off" case must stay within noise of the
+// pre-instrumentation baseline.
+func BenchmarkObservabilityOverhead(b *testing.B) {
+	c := gen.SmallSuite()[0].Build()
+	run := func(b *testing.B, tracer func() *obs.Tracer) {
+		for i := 0; i < b.N; i++ {
+			opt := resynth.DefaultOptions()
+			opt.Verify = false
+			opt.Tracer = tracer() // fresh per run, as in the tools
+			if _, err := resynth.Optimize(c, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, func() *obs.Tracer { return nil }) })
+	b.Run("on", func(b *testing.B) { run(b, obs.NewTracer) })
 }
 
 // Micro-benchmarks of the substrates.

@@ -4,67 +4,85 @@
 //
 // Usage:
 //
-//	atpg [-backtracks n] [-filter n] [-tests] circuit.bench
+//	atpg [-backtracks n] [-filter n] [-tests]
+//	     [-trace] [-metrics-out report.json] [-v] [-pprof addr] circuit.bench
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 
 	"compsynth"
 	"compsynth/internal/atpg"
 	"compsynth/internal/faults"
 	"compsynth/internal/faultsim"
+	"compsynth/internal/obs"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("atpg: ")
 	backtracks := flag.Int("backtracks", 20000, "PODEM backtrack limit")
 	filter := flag.Int("filter", 2048, "random patterns to drop easy faults first (0 = none)")
 	showTests := flag.Bool("tests", false, "print a test per hard testable fault")
+	oflags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: atpg [-backtracks n] circuit.bench")
 		os.Exit(2)
 	}
+	run := oflags.Start("atpg")
+	lg := run.Log
 	c, err := compsynth.LoadBench(flag.Arg(0))
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(os.Stderr, "atpg: %v\n", err)
+		os.Exit(1)
 	}
+	run.CircuitBefore(c)
 	fl := faults.Collapse(c)
-	fmt.Printf("%s: %v, %d collapsed faults\n", c.Name, c.Stats(), len(fl))
+	lg.Printf("%s: %v, %d collapsed faults", c.Name, c.Stats(), len(fl))
 
 	hard := fl
 	easy := 0
 	if *filter > 0 {
-		res := faultsim.RunRandom(c, fl, *filter, 7)
+		res := faultsim.Campaign(c, fl, faultsim.CampaignOptions{
+			Patterns: *filter, Seed: 7, Tracer: run.Tracer,
+		})
 		hard = res.Remaining
 		easy = res.Detected
+		lg.Verbosef("random filter: %d of %d faults detected, %d left for PODEM",
+			easy, len(fl), len(hard))
 	}
+	psp := run.Tracer.StartSpan("atpg.podem")
 	testable, redundant, aborted := easy, 0, 0
 	for _, f := range hard {
-		r := atpg.Generate(c, f, atpg.Options{BacktrackLimit: *backtracks})
+		r := atpg.Generate(c, f, atpg.Options{BacktrackLimit: *backtracks, Tracer: run.Tracer})
 		switch r.Status {
 		case atpg.Testable:
 			testable++
 			if *showTests {
-				fmt.Printf("  %v: test %v (%d backtracks)\n", f, asBits(r.Test), r.Backtracks)
+				lg.Printf("  %v: test %v (%d backtracks)", f, asBits(r.Test), r.Backtracks)
 			}
 		case atpg.Redundant:
 			redundant++
-			fmt.Printf("  %v: redundant\n", f)
+			lg.Printf("  %v: redundant", f)
 		case atpg.Aborted:
 			aborted++
-			fmt.Printf("  %v: aborted after %d backtracks\n", f, r.Backtracks)
+			lg.Printf("  %v: aborted after %d backtracks", f, r.Backtracks)
 		}
 	}
-	fmt.Printf("testable: %d (random: %d, podem: %d), redundant: %d, aborted: %d\n",
+	psp.End()
+	lg.Printf("testable: %d (random: %d, podem: %d), redundant: %d, aborted: %d",
 		testable, easy, testable-easy, redundant, aborted)
 	if redundant == 0 && aborted == 0 {
-		fmt.Println("circuit is fully testable for single stuck-at faults")
+		lg.Printf("circuit is fully testable for single stuck-at faults")
+	}
+	run.Report.AddResult("classification", map[string]int{
+		"testable": testable, "random": easy, "podem": testable - easy,
+		"redundant": redundant, "aborted": aborted,
+	})
+	if err := run.Finish(); err != nil {
+		fmt.Fprintf(os.Stderr, "atpg: %v\n", err)
+		os.Exit(1)
 	}
 }
 

@@ -3,44 +3,63 @@
 //
 // Usage:
 //
-//	faultsim [-patterns n] [-seed n] [-list-remaining] circuit.bench
+//	faultsim [-patterns n] [-seed n] [-list-remaining]
+//	         [-trace] [-metrics-out report.json] [-v] [-pprof addr] circuit.bench
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 
 	"compsynth"
 	"compsynth/internal/faults"
+	"compsynth/internal/faultsim"
+	"compsynth/internal/obs"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("faultsim: ")
 	patterns := flag.Int("patterns", 1<<20, "random patterns to apply")
 	seed := flag.Int64("seed", 1, "pattern generator seed")
 	list := flag.Bool("list-remaining", false, "list undetected faults")
+	oflags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: faultsim [-patterns n] [-seed n] circuit.bench")
 		os.Exit(2)
 	}
+	run := oflags.Start("faultsim")
+	lg := run.Log
 	c, err := compsynth.LoadBench(flag.Arg(0))
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(os.Stderr, "faultsim: %v\n", err)
+		os.Exit(1)
 	}
+	run.CircuitBefore(c)
 	fl := faults.Collapse(c)
-	res := compsynth.StuckAtCampaign(c, *patterns, *seed)
-	fmt.Printf("%s: %v\n", c.Name, c.Stats())
-	fmt.Printf("collapsed faults: %d\n", len(fl))
-	fmt.Printf("detected: %d (%.3f%%), remaining: %d\n",
+	res := faultsim.Campaign(c, fl, faultsim.CampaignOptions{
+		Patterns: *patterns, Seed: *seed, Tracer: run.Tracer,
+	})
+	lg.Printf("%s: %v", c.Name, c.Stats())
+	lg.Printf("collapsed faults: %d", len(fl))
+	lg.Printf("detected: %d (%.3f%%), remaining: %d",
 		res.Detected, 100*res.Coverage(), len(res.Remaining))
-	fmt.Printf("last effective pattern: %d of %d applied\n", res.LastEffective, res.Patterns)
+	lg.Printf("last effective pattern: %d of %d applied", res.LastEffective, res.Patterns)
 	if *list {
 		for _, f := range res.Remaining {
-			fmt.Printf("  undetected: %v\n", f)
+			lg.Printf("  undetected: %v", f)
 		}
+	}
+	run.Report.AddResult("stuck_at", map[string]any{
+		"total_faults":   res.TotalFaults,
+		"detected":       res.Detected,
+		"remaining":      len(res.Remaining),
+		"coverage":       res.Coverage(),
+		"last_effective": res.LastEffective,
+		"patterns":       res.Patterns,
+	})
+	if err := run.Finish(); err != nil {
+		fmt.Fprintf(os.Stderr, "faultsim: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -1,14 +1,21 @@
 // Command figures regenerates the structures of the paper's Figures 1-6 and
 // the robust test set of Table 1, printing each as a .bench netlist plus
 // commentary.
+//
+// Usage:
+//
+//	figures [-trace] [-metrics-out report.json] [-v] [-pprof addr]
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
 
 	"compsynth/internal/bench"
 	"compsynth/internal/compare"
 	"compsynth/internal/delay"
+	"compsynth/internal/obs"
 	"compsynth/internal/paths"
 )
 
@@ -20,45 +27,55 @@ func identity(n int) []int {
 	return p
 }
 
-func show(title string, s compare.Spec, merge bool) {
-	fmt.Printf("== %s ==\n", title)
-	fmt.Printf("spec: %v, free=%d, geq=%v, leq=%v, gate cost=%d equiv-2-input\n",
+func show(run *obs.Run, title string, s compare.Spec, merge bool) {
+	sp := run.Tracer.StartSpan("figures.build")
+	sp.SetStr("title", title)
+	defer sp.End()
+	lg := run.Log
+	lg.Printf("== %s ==", title)
+	lg.Printf("spec: %v, free=%d, geq=%v, leq=%v, gate cost=%d equiv-2-input",
 		s, s.FreeCount(), s.GeqPresent(), s.LeqPresent(), s.GateCost())
 	c := s.BuildStandalone("fig", compare.BuildOptions{Merge: merge})
 	fmt.Print(bench.String(c))
 	total := paths.MustCount(c)
-	fmt.Printf("paths through unit: %d (bound: 2 per input)\n\n", total)
+	lg.Printf("paths through unit: %d (bound: 2 per input)\n", total)
 }
 
 func main() {
+	oflags := obs.AddFlags(flag.CommandLine)
+	flag.Parse()
+	run := oflags.Start("figures")
+	lg := run.Log
+
 	// Figure 1: the comparison unit for the Section 3.1 example
 	// (L=5, U=10 after permuting f2's inputs).
-	show("Figure 1: comparison unit, L=5, U=10",
+	show(run, "Figure 1: comparison unit, L=5, U=10",
 		compare.Spec{N: 4, Perm: identity(4), L: 5, U: 10}, false)
 
 	// Figure 3: the four example blocks. A block alone corresponds to a
 	// one-sided interval.
-	show("Figure 3(a): >=3 block", compare.Spec{N: 4, Perm: identity(4), L: 3, U: 15}, false)
-	show("Figure 3(b): >=12 block (trailing-zero gates omitted)",
+	show(run, "Figure 3(a): >=3 block", compare.Spec{N: 4, Perm: identity(4), L: 3, U: 15}, false)
+	show(run, "Figure 3(b): >=12 block (trailing-zero gates omitted)",
 		compare.Spec{N: 4, Perm: identity(4), L: 12, U: 15}, false)
-	show("Figure 3(c): <=12 block", compare.Spec{N: 4, Perm: identity(4), L: 0, U: 12}, false)
-	show("Figure 3(d): <=3 block (trailing-one gates omitted)",
+	show(run, "Figure 3(c): <=12 block", compare.Spec{N: 4, Perm: identity(4), L: 0, U: 12}, false)
+	show(run, "Figure 3(d): <=3 block (trailing-one gates omitted)",
 		compare.Spec{N: 4, Perm: identity(4), L: 0, U: 3}, false)
 
 	// Figure 4: >=7 with same-type gate merging.
-	show("Figure 4: >=7 unit with merged AND gates",
+	show(run, "Figure 4: >=7 unit with merged AND gates",
 		compare.Spec{N: 4, Perm: identity(4), L: 7, U: 15}, true)
 
 	// Figure 5: free variables (L=5, U=7: x1, x2 free).
-	show("Figure 5: free-variable unit, L=5, U=7",
+	show(run, "Figure 5: free-variable unit, L=5, U=7",
 		compare.Spec{N: 4, Perm: identity(4), L: 5, U: 7}, false)
 
 	// Figure 6 + Table 1: the L=11, U=12 unit and its robust test set.
 	s := compare.Spec{N: 4, Perm: identity(4), L: 11, U: 12}
-	show("Figure 6: unit with L=11, U=12 (x1 free, L_F=3, U_F=4)", s, true)
+	show(run, "Figure 6: unit with L=11, U=12 (x1 free, L_F=3, U_F=4)", s, true)
 
-	fmt.Println("== Table 1: robust test set for the Figure 6 unit ==")
-	fmt.Printf("%-14s %-10s %-10s %-10s %-10s\n", "fault", "x1", "x2", "x3", "x4")
+	tsp := run.Tracer.StartSpan("figures.table1")
+	lg.Printf("== Table 1: robust test set for the Figure 6 unit ==")
+	lg.Printf("%-14s %-10s %-10s %-10s %-10s", "fault", "x1", "x2", "x3", "x4")
 	c := s.BuildStandalone("f6", compare.BuildOptions{Merge: true})
 	for _, ut := range s.TestSet() {
 		cols := make([]string, 4)
@@ -87,7 +104,12 @@ func main() {
 		if !robust {
 			mark = "NOT ROBUST?!"
 		}
-		fmt.Printf("x%d %-10s %-10s %-10s %-10s %-10s %s\n",
+		lg.Printf("x%d %-10s %-10s %-10s %-10s %-10s %s",
 			ut.Pos, ut.Block, cols[0], cols[1], cols[2], cols[3], mark)
+	}
+	tsp.End()
+	if err := run.Finish(); err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -3,46 +3,60 @@
 //
 // Usage:
 //
-//	pathcount [-per-output] [-through line] circuit.bench
+//	pathcount [-per-output] [-through line]
+//	          [-trace] [-metrics-out report.json] [-v] [-pprof addr] circuit.bench
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 
 	"compsynth"
+	"compsynth/internal/obs"
 	"compsynth/internal/paths"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("pathcount: ")
 	perOutput := flag.Bool("per-output", false, "print one line per primary output")
 	through := flag.String("through", "", "also print the number of paths through this line")
+	oflags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: pathcount [-per-output] [-through line] circuit.bench")
 		os.Exit(2)
 	}
+	run := oflags.Start("pathcount")
+	lg := run.Log
 	c, err := compsynth.LoadBench(flag.Arg(0))
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(os.Stderr, "pathcount: %v\n", err)
+		os.Exit(1)
 	}
+	run.CircuitBefore(c)
+	sp := run.Tracer.StartSpan("pathcount.label")
 	total := compsynth.CountPathsBig(c)
-	fmt.Printf("%s: %v paths (%v)\n", c.Name, total, c.Stats())
+	sp.End()
+	lg.Printf("%s: %v paths (%v)", c.Name, total, c.Stats())
+	run.Report.AddResult("paths", total.String())
 	if *perOutput {
 		np := paths.LabelsBig(c)
 		for _, o := range c.Outputs {
-			fmt.Printf("  %-12s %v\n", c.Nodes[o].Name, np[o])
+			lg.Printf("  %-12s %v", c.Nodes[o].Name, np[o])
 		}
 	}
 	if *through != "" {
 		id := c.NodeByName(*through)
 		if id < 0 {
-			log.Fatalf("no line named %q", *through)
+			fmt.Fprintf(os.Stderr, "pathcount: no line named %q\n", *through)
+			os.Exit(1)
 		}
-		fmt.Printf("  through %s: %d\n", *through, paths.Through(c, id))
+		n := paths.Through(c, id)
+		lg.Printf("  through %s: %d", *through, n)
+		run.Report.AddResult("paths_through", map[string]any{"line": *through, "paths": n})
+	}
+	if err := run.Finish(); err != nil {
+		fmt.Fprintf(os.Stderr, "pathcount: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -6,22 +6,21 @@
 //
 //	sft -in circuit.bench [-out out.bench] [-objective gates|paths|combined]
 //	    [-k 5] [-sampling] [-redundancy] [-report]
+//	    [-trace] [-metrics-out report.json] [-v] [-pprof addr]
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 
 	"compsynth"
+	"compsynth/internal/obs"
 	"compsynth/internal/redundancy"
 	"compsynth/internal/resynth"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("sft: ")
 	var (
 		in        = flag.String("in", "", "input .bench netlist (required)")
 		out       = flag.String("out", "", "output .bench netlist (optional)")
@@ -34,74 +33,118 @@ func main() {
 		report    = flag.Bool("report", false, "print a testability report (stuck-at + path delay)")
 		seed      = flag.Int64("seed", 1995, "seed for campaigns")
 	)
+	oflags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-
-	c, err := compsynth.LoadBench(*in)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("loaded %s: %v\n", *in, c.Stats())
-	p0, err := compsynth.CountPaths(c)
-	if err != nil {
-		log.Fatalf("path count: %v (use smaller circuits; count exceeds uint64)", err)
-	}
-	fmt.Printf("paths: %d\n", p0)
-
-	opt := resynth.DefaultOptions()
-	opt.K = *k
-	opt.UseSampling = *sampling
-	opt.MaxUnits = *maxUnits
-	opt.UseSDC = *useSDC
-	opt.Seed = *seed
+	// Validate the objective before any work happens, so a typo cannot
+	// waste a long resynthesis run (and so every parse failure exits
+	// non-zero with a clear message, never mid-flow).
+	var obj resynth.Objective
 	switch *objective {
 	case "gates":
-		opt.Objective = resynth.MinGates
+		obj = resynth.MinGates
 	case "paths":
-		opt.Objective = resynth.MinPaths
+		obj = resynth.MinPaths
 	case "combined":
-		opt.Objective = resynth.Combined
+		obj = resynth.Combined
 	default:
-		log.Fatalf("unknown objective %q", *objective)
+		fmt.Fprintf(os.Stderr, "sft: unknown -objective %q (want gates, paths or combined)\n", *objective)
+		os.Exit(2)
 	}
+
+	run := oflags.Start("sft")
+	if err := sft(run, *in, *out, obj, *k, *sampling, *redund, *maxUnits, *useSDC, *report, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "sft: %v\n", err)
+		run.Report.Error = err.Error()
+		run.Finish() // best-effort partial report; the run still fails
+		os.Exit(1)
+	}
+	if err := run.Finish(); err != nil {
+		fmt.Fprintf(os.Stderr, "sft: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func sft(run *obs.Run, in, out string, obj resynth.Objective, k int,
+	sampling, redund bool, maxUnits int, useSDC, report bool, seed int64) error {
+	lg := run.Log
+
+	sp := run.Tracer.StartSpan("load")
+	c, err := compsynth.LoadBench(in)
+	sp.End()
+	if err != nil {
+		return err
+	}
+	run.CircuitBefore(c)
+	lg.Printf("loaded %s: %v", in, c.Stats())
+	p0, err := compsynth.CountPaths(c)
+	if err != nil {
+		return fmt.Errorf("path count: %v (use smaller circuits; count exceeds uint64)", err)
+	}
+	lg.Printf("paths: %d", p0)
+
+	opt := resynth.DefaultOptions()
+	opt.K = k
+	opt.Objective = obj
+	opt.UseSampling = sampling
+	opt.MaxUnits = maxUnits
+	opt.UseSDC = useSDC
+	opt.Seed = seed
+	opt.Tracer = run.Tracer
+	lg.Verbosef("resynthesis starting (objective=%v K=%d sampling=%v)", obj, k, sampling)
 	res, err := compsynth.Optimize(c, opt)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("resynthesis (%s, K=%d): %v\n", *objective, *k, res)
+	run.Report.AddResult("resynth", res)
+	lg.Printf("resynthesis (%v, K=%d): %v", obj, k, res)
 
 	final := res.Circuit
-	if *redund {
+	if redund {
 		ropt := redundancy.DefaultOptions()
+		ropt.Tracer = run.Tracer
+		lg.Verbosef("redundancy removal starting")
 		rr, err := redundancy.Remove(final, ropt)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("redundancy removal: %v\n", rr)
+		run.Report.AddResult("redundancy", rr)
+		lg.Printf("redundancy removal: %v", rr)
 		final = rr.Circuit
 	}
-	if !compsynth.Equivalent(c, final) {
-		log.Fatal("internal error: result not equivalent to input")
+	vsp := run.Tracer.StartSpan("verify")
+	equiv := compsynth.Equivalent(c, final)
+	vsp.End()
+	if !equiv {
+		return fmt.Errorf("internal error: result not equivalent to input")
 	}
-	fmt.Printf("final: %v, paths %d\n", final.Stats(), mustPaths(final))
+	run.CircuitAfter(final)
+	lg.Printf("final: %v, paths %d", final.Stats(), mustPaths(final))
 
-	if *report {
-		sa := compsynth.StuckAtCampaign(final, 1<<16, *seed)
-		fmt.Printf("stuck-at: %d faults, %d undetected after %d random patterns (eff. %d)\n",
+	if report {
+		ssp := run.Tracer.StartSpan("stuckat.campaign")
+		sa := compsynth.StuckAtCampaign(final, 1<<16, seed)
+		ssp.End()
+		run.Report.AddResult("stuck_at", sa)
+		lg.Printf("stuck-at: %d faults, %d undetected after %d random patterns (eff. %d)",
 			sa.TotalFaults, len(sa.Remaining), sa.Patterns, sa.LastEffective)
-		pd := compsynth.PathDelayCampaign(final, 10000, 1000, *seed)
-		fmt.Printf("robust PDF: %d/%d detected (%.2f%%), eff. pair %d\n",
+		psp := run.Tracer.StartSpan("pathdelay.campaign")
+		pd := compsynth.PathDelayCampaign(final, 10000, 1000, seed)
+		psp.End()
+		run.Report.AddResult("path_delay", pd)
+		lg.Printf("robust PDF: %d/%d detected (%.2f%%), eff. pair %d",
 			pd.Detected, pd.TotalFaults, 100*pd.Coverage(), pd.LastEffective)
 	}
-	if *out != "" {
-		if err := compsynth.SaveBench(final, *out); err != nil {
-			log.Fatal(err)
+	if out != "" {
+		if err := compsynth.SaveBench(final, out); err != nil {
+			return err
 		}
-		fmt.Printf("wrote %s\n", *out)
+		lg.Printf("wrote %s", out)
 	}
+	return nil
 }
 
 func mustPaths(c *compsynth.Circuit) uint64 {

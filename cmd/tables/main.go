@@ -5,22 +5,21 @@
 //
 //	tables [-table all|2|3|4|5|6|7] [-scale f] [-quick] [-seed n]
 //	       [-patterns n] [-pairs n] [-circuits a,b,c] [-noverify]
+//	       [-trace] [-metrics-out report.json] [-v] [-pprof addr]
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"strings"
 	"time"
 
 	"compsynth/internal/exper"
+	"compsynth/internal/obs"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("tables: ")
 	var (
 		table    = flag.String("table", "all", "which table to regenerate (2..7 or all)")
 		scale    = flag.Float64("scale", 1.0, "suite size multiplier")
@@ -31,7 +30,12 @@ func main() {
 		circuits = flag.String("circuits", "", "comma-separated circuit filter")
 		noverify = flag.Bool("noverify", false, "skip per-pass equivalence checks (faster)")
 	)
+	oflags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
+	if *table != "all" && !strings.ContainsAny(*table, "234567") {
+		fmt.Fprintln(os.Stderr, "tables: unknown table:", *table)
+		os.Exit(2)
+	}
 
 	cfg := exper.DefaultConfig()
 	if *quick {
@@ -52,30 +56,44 @@ func main() {
 	}
 	cfg.Verify = !*noverify
 
+	orun := oflags.Start("tables")
+	lg := orun.Log
+	cfg.Tracer = orun.Tracer
+
 	start := time.Now()
-	fmt.Printf("# preparing suite (scale=%.2f, irredundant=%v)\n", cfg.Scale, cfg.MakeIrredundant)
+	lg.Printf("# preparing suite (scale=%.2f, irredundant=%v)", cfg.Scale, cfg.MakeIrredundant)
+	psp := orun.Tracer.StartSpan("tables.prepare")
 	items, err := exper.PrepareSuite(cfg)
+	psp.End()
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(os.Stderr, "tables: %v\n", err)
+		os.Exit(1)
 	}
 	suite := exper.NewSuite(cfg, items)
 	for _, nc := range items {
-		fmt.Printf("#   %-10s %v\n", nc.Name, nc.Circuit.Stats())
+		lg.Printf("#   %-10s %v", nc.Name, nc.Circuit.Stats())
 	}
-	fmt.Printf("# suite ready in %v\n\n", time.Since(start).Round(time.Millisecond))
+	lg.Printf("# suite ready in %v\n", time.Since(start).Round(time.Millisecond))
 
 	want := func(t string) bool { return *table == "all" || *table == t }
 	run := func(name string, f func() (string, error)) {
 		if !want(name) {
 			return
 		}
+		lg.Verbosef("table %s starting", name)
 		t0 := time.Now()
+		sp := orun.Tracer.StartSpan("tables.table" + name)
 		out, err := f()
+		sp.End()
 		if err != nil {
-			log.Fatalf("table %s: %v", name, err)
+			fmt.Fprintf(os.Stderr, "tables: table %s: %v\n", name, err)
+			orun.Report.Error = err.Error()
+			orun.Finish()
+			os.Exit(1)
 		}
 		fmt.Print(out)
-		fmt.Printf("# table %s in %v\n\n", name, time.Since(t0).Round(time.Millisecond))
+		orun.Report.AddResult("table"+name, out)
+		lg.Printf("# table %s in %v\n", name, time.Since(t0).Round(time.Millisecond))
 	}
 
 	run("2", func() (string, error) {
@@ -102,9 +120,9 @@ func main() {
 		rows, err := exper.Table7(suite)
 		return exper.FormatTable7(rows), err
 	})
-	if *table != "all" && !strings.ContainsAny(*table, "234567") {
-		fmt.Fprintln(os.Stderr, "unknown table:", *table)
-		os.Exit(2)
+	lg.Printf("# total %v", time.Since(start).Round(time.Millisecond))
+	if err := orun.Finish(); err != nil {
+		fmt.Fprintf(os.Stderr, "tables: %v\n", err)
+		os.Exit(1)
 	}
-	fmt.Printf("# total %v\n", time.Since(start).Round(time.Millisecond))
 }

@@ -7,6 +7,17 @@ package atpg
 import (
 	"compsynth/internal/circuit"
 	"compsynth/internal/faults"
+	"compsynth/internal/obs"
+)
+
+// PODEM metrics: totals per process plus the per-call backtrack
+// distribution (hard faults show up in the p99).
+var (
+	mCalls      = obs.C("atpg.calls")
+	mBacktracks = obs.C("atpg.backtracks")
+	mRedundant  = obs.C("atpg.redundant_proofs")
+	mAborted    = obs.C("atpg.aborts")
+	hBacktracks = obs.H("atpg.backtracks_per_call")
 )
 
 // Value is a 5-valued signal: a (good, faulty) pair.
@@ -95,6 +106,10 @@ func (s Status) String() string {
 // Options bounds the search.
 type Options struct {
 	BacktrackLimit int // decisions undone before giving up (0 = default)
+
+	// Tracer, when non-nil, records one span per Generate call (subject to
+	// the tracer's span cap). Nil keeps the zero-overhead fast path.
+	Tracer *obs.Tracer
 }
 
 // Result of a Generate call.
@@ -169,6 +184,24 @@ func relevantCone(c *circuit.Circuit, site int) []bool {
 // Generate runs PODEM for fault f on circuit c. When the search space is
 // exhausted without finding a test, the fault is proved Redundant.
 func Generate(c *circuit.Circuit, f faults.Fault, opt Options) Result {
+	sp := opt.Tracer.StartSpan("atpg.generate")
+	r := generate(c, f, opt)
+	sp.SetStr("status", r.Status.String())
+	sp.SetInt("backtracks", int64(r.Backtracks))
+	sp.End()
+	mCalls.Inc()
+	mBacktracks.Add(int64(r.Backtracks))
+	hBacktracks.Observe(float64(r.Backtracks))
+	switch r.Status {
+	case Redundant:
+		mRedundant.Inc()
+	case Aborted:
+		mAborted.Inc()
+	}
+	return r
+}
+
+func generate(c *circuit.Circuit, f faults.Fault, opt Options) Result {
 	limit := opt.BacktrackLimit
 	if limit <= 0 {
 		limit = 20000

@@ -23,6 +23,11 @@ import (
 // where care is 1. Minterms outside care may take either value. The care
 // set must not be empty of required minterms (use Simplify for constants).
 func IdentifyDC(on, care logic.TT) (Spec, bool) {
+	s, ok := identifyDC(on, care)
+	return s, countIdentify(ok)
+}
+
+func identifyDC(on, care logic.TT) (Spec, bool) {
 	if on.Vars() != care.Vars() {
 		panic("compare: on/care variable mismatch")
 	}

@@ -39,6 +39,11 @@ func Identify(f logic.TT) (Spec, bool) {
 // unit followed by an inverter (Complement = true), as done in the paper's
 // experiments.
 func IdentifyBest(f logic.TT) (Spec, bool) {
+	s, ok := identifyBest(f)
+	return s, countIdentify(ok)
+}
+
+func identifyBest(f logic.TT) (Spec, bool) {
 	if f.IsConst(false) || f.IsConst(true) {
 		// Constants are not implemented as units; resynthesis folds them.
 		if f.IsConst(true) {
@@ -273,6 +278,11 @@ func prepend(v int, perm []int) []int {
 // random shuffles) and checks whether the onset or the offset minterms are
 // consecutive under each. rng may be nil for a fixed default seed.
 func IdentifySampling(f logic.TT, maxPerms int, rng *rand.Rand) (Spec, bool) {
+	s, ok := identifySampling(f, maxPerms, rng)
+	return s, countIdentify(ok)
+}
+
+func identifySampling(f logic.TT, maxPerms int, rng *rand.Rand) (Spec, bool) {
 	if rng == nil {
 		rng = rand.New(rand.NewSource(1995))
 	}

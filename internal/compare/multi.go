@@ -181,6 +181,11 @@ func onsetRuns(f logic.TT) [][2]int {
 // Both the onset and the offset (complemented output) are considered.
 // rng may be nil for a fixed default seed.
 func IdentifyMulti(f logic.TT, maxUnits, maxPerms int, rng *rand.Rand) (MultiSpec, bool) {
+	s, ok := identifyMulti(f, maxUnits, maxPerms, rng)
+	return s, countIdentify(ok)
+}
+
+func identifyMulti(f logic.TT, maxUnits, maxPerms int, rng *rand.Rand) (MultiSpec, bool) {
 	if f.IsConst(false) || f.IsConst(true) {
 		return MultiSpec{}, false // constants are folded, not synthesized
 	}

@@ -4,7 +4,14 @@ import (
 	"math/rand"
 
 	"compsynth/internal/circuit"
+	"compsynth/internal/obs"
 	"compsynth/internal/paths"
+)
+
+// Campaign metrics.
+var (
+	mPairs       = obs.C("delay.pairs_simulated")
+	mPDFDetected = obs.C("delay.path_faults_detected")
 )
 
 // Robust sensitization (Lin-Reddy conditions): an on-path transition
@@ -196,6 +203,7 @@ func RunRandom(c *circuit.Circuit, opt CampaignOptions) CampaignResult {
 	v2 := make([]bool, len(c.Inputs))
 	quiet := 0
 	for pair := 1; pair <= opt.MaxPairs; pair++ {
+		mPairs.Inc()
 		for j := range v1 {
 			v1[j] = rng.Intn(2) == 1
 			v2[j] = rng.Intn(2) == 1
@@ -235,6 +243,7 @@ func RunRandom(c *circuit.Circuit, opt CampaignOptions) CampaignResult {
 		}
 		if newFound > 0 {
 			res.Detected += newFound
+			mPDFDetected.Add(int64(newFound))
 			res.LastEffective = pair
 			quiet = 0
 		} else {

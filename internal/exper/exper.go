@@ -12,6 +12,7 @@ import (
 	"compsynth/internal/faults"
 	"compsynth/internal/faultsim"
 	"compsynth/internal/gen"
+	"compsynth/internal/obs"
 	"compsynth/internal/paths"
 	"compsynth/internal/rambo"
 	"compsynth/internal/redundancy"
@@ -30,6 +31,10 @@ type Config struct {
 	Circuits        []string // filter by name; empty = whole suite
 	MakeIrredundant bool     // apply redundancy removal to the raw circuits
 	Verify          bool     // per-pass equivalence checking
+
+	// Tracer, when non-nil, is threaded into every optimizer and removal
+	// run so table regeneration produces a per-circuit span tree.
+	Tracer *obs.Tracer
 }
 
 // DefaultConfig mirrors the paper's setup at laptop scale.
@@ -98,7 +103,7 @@ func (s *Suite) Proc2(nc Named) (*resynth.Result, int, error) {
 	if r, ok := s.proc2[nc.Name]; ok {
 		return r.res, r.k, nil
 	}
-	res, k, err := runProc(nc.Circuit, resynth.MinGates, s.cfg.Ks, s.cfg.Verify)
+	res, k, err := runProc(nc.Circuit, resynth.MinGates, s.cfg)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -111,7 +116,7 @@ func (s *Suite) Proc3(nc Named) (*resynth.Result, int, error) {
 	if r, ok := s.proc3[nc.Name]; ok {
 		return r.res, r.k, nil
 	}
-	res, k, err := runProc(nc.Circuit, resynth.MinPaths, s.cfg.Ks, s.cfg.Verify)
+	res, k, err := runProc(nc.Circuit, resynth.MinPaths, s.cfg)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -146,6 +151,7 @@ func (s *Suite) ModifiedRR(nc Named) (*redundancy.Result, error) {
 	}
 	ropt := redundancy.DefaultOptions()
 	ropt.Verify = s.cfg.Verify
+	ropt.Tracer = s.cfg.Tracer
 	rr, err := redundancy.Remove(res.Circuit, ropt)
 	if err != nil {
 		return nil, err
@@ -166,6 +172,7 @@ func PrepareSuite(cfg Config) ([]Named, error) {
 		if cfg.MakeIrredundant {
 			opt := redundancy.DefaultOptions()
 			opt.Verify = cfg.Verify
+			opt.Tracer = cfg.Tracer
 			// Suite preparation favours speed: deep random circuits have
 			// pathological redundancy proofs; aborted faults simply stay,
 			// and a generous random filter keeps PODEM off easy faults.
@@ -194,14 +201,15 @@ func contains(xs []string, s string) bool {
 
 // runProc runs a resynthesis procedure for each K and returns the best
 // result under the objective.
-func runProc(c *circuit.Circuit, obj resynth.Objective, ks []int, verify bool) (*resynth.Result, int, error) {
+func runProc(c *circuit.Circuit, obj resynth.Objective, cfg Config) (*resynth.Result, int, error) {
 	var best *resynth.Result
 	bestK := 0
-	for _, k := range ks {
+	for _, k := range cfg.Ks {
 		opt := resynth.DefaultOptions()
 		opt.K = k
 		opt.Objective = obj
-		opt.Verify = verify
+		opt.Verify = cfg.Verify
+		opt.Tracer = cfg.Tracer
 		res, err := resynth.Optimize(c, opt)
 		if err != nil {
 			return nil, 0, err
@@ -291,7 +299,9 @@ func Table3(s *Suite) ([]Table3Row, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: rambo: %v", nc.Name, err)
 		}
-		combo, k, err := runProc(rres.Circuit, resynth.MinGates, []int{6}, s.cfg.Verify)
+		ccfg := s.cfg
+		ccfg.Ks = []int{6}
+		combo, k, err := runProc(rres.Circuit, resynth.MinGates, ccfg)
 		if err != nil {
 			return nil, fmt.Errorf("%s: combo: %v", nc.Name, err)
 		}
@@ -336,7 +346,9 @@ func Table4(s *Suite) (partA, partB []Table4Row, err error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		combo, _, err := runProc(rres.Circuit, resynth.MinGates, []int{6}, s.cfg.Verify)
+		ccfg := s.cfg
+		ccfg.Ks = []int{6}
+		combo, _, err := runProc(rres.Circuit, resynth.MinGates, ccfg)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -393,8 +405,10 @@ func Table6(s *Suite) ([]Table6Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		orig := faultsim.RunRandom(nc.Circuit, faults.Collapse(nc.Circuit), cfg.StuckPatterns, cfg.Seed)
-		mod := faultsim.RunRandom(rr.Circuit, faults.Collapse(rr.Circuit), cfg.StuckPatterns, cfg.Seed)
+		orig := faultsim.Campaign(nc.Circuit, faults.Collapse(nc.Circuit),
+			faultsim.CampaignOptions{Patterns: cfg.StuckPatterns, Seed: cfg.Seed, Tracer: cfg.Tracer})
+		mod := faultsim.Campaign(rr.Circuit, faults.Collapse(rr.Circuit),
+			faultsim.CampaignOptions{Patterns: cfg.StuckPatterns, Seed: cfg.Seed, Tracer: cfg.Tracer})
 		rows = append(rows, Table6Row{
 			Name:       nc.Name,
 			FaultsOrig: orig.TotalFaults, RemainOrig: len(orig.Remaining), EffOrig: orig.LastEffective,
@@ -446,12 +460,13 @@ func Table7(s *Suite) ([]Table7Row, error) {
 
 	var rows []Table7Row
 	for _, v := range versions {
-		mod, _, err := runProc(v.c, resynth.MinGates, cfg.Ks, cfg.Verify)
+		mod, _, err := runProc(v.c, resynth.MinGates, cfg)
 		if err != nil {
 			return nil, err
 		}
 		rd := redundancy.DefaultOptions()
 		rd.Verify = cfg.Verify
+		rd.Tracer = cfg.Tracer
 		rr, err := redundancy.Remove(mod.Circuit, rd)
 		if err != nil {
 			return nil, err

@@ -11,6 +11,14 @@ import (
 
 	"compsynth/internal/circuit"
 	"compsynth/internal/faults"
+	"compsynth/internal/obs"
+)
+
+// Simulation metrics (batched adds: one per 64-pattern block).
+var (
+	mPatterns  = obs.C("faultsim.patterns_simulated")
+	mFaultEval = obs.C("faultsim.fault_evals")
+	mDetected  = obs.C("faultsim.faults_detected")
 )
 
 // Simulator simulates one circuit.
@@ -190,23 +198,42 @@ func (r CampaignResult) Coverage() float64 {
 	return float64(r.Detected) / float64(r.TotalFaults)
 }
 
+// CampaignOptions configures a random-pattern campaign.
+type CampaignOptions struct {
+	Patterns int   // random patterns to apply (rounded up to blocks of 64)
+	Seed     int64 // pattern generator seed
+
+	// Tracer, when non-nil, wraps the campaign in a span.
+	Tracer *obs.Tracer
+}
+
 // RunRandom applies maxPatterns random patterns (rounded up to blocks of 64)
 // to the collapsed fault list and reports detection statistics. The same
 // seed yields the same pattern sequence for circuits with equal input
 // counts, mirroring the paper's before/after comparison methodology.
 func RunRandom(c *circuit.Circuit, fl []faults.Fault, maxPatterns int, seed int64) CampaignResult {
+	return Campaign(c, fl, CampaignOptions{Patterns: maxPatterns, Seed: seed})
+}
+
+// Campaign is RunRandom with explicit options (tracing in particular).
+func Campaign(c *circuit.Circuit, fl []faults.Fault, opt CampaignOptions) CampaignResult {
+	sp := opt.Tracer.StartSpan("faultsim.campaign")
+	defer sp.End()
+	sp.SetInt("faults", int64(len(fl)))
 	s := New(c)
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(rand.NewSource(opt.Seed))
 	remaining := append([]faults.Fault(nil), fl...)
 	res := CampaignResult{TotalFaults: len(fl)}
 	words := make([]uint64, len(c.Inputs))
-	blocks := (maxPatterns + 63) / 64
+	blocks := (opt.Patterns + 63) / 64
 	for b := 0; b < blocks && len(remaining) > 0; b++ {
 		for j := range words {
 			words[j] = rng.Uint64()
 		}
 		s.SetInputs(words)
 		s.RunGood()
+		mPatterns.Add(64)
+		mFaultEval.Add(int64(len(remaining)))
 		kept := remaining[:0]
 		for _, f := range remaining {
 			d := s.DetectWord(f)
@@ -224,6 +251,9 @@ func RunRandom(c *circuit.Circuit, fl []faults.Fault, maxPatterns int, seed int6
 	}
 	res.Remaining = append([]faults.Fault(nil), remaining...)
 	res.Patterns = blocks * 64
+	mDetected.Add(int64(res.Detected))
+	sp.SetInt("patterns", int64(res.Patterns))
+	sp.SetInt("detected", int64(res.Detected))
 	return res
 }
 

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"flag"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+	"time"
+
+	"compsynth/internal/circuit"
+)
+
+// Flags holds the observability flags shared by every command:
+//
+//	-trace              record and print a span tree for the run
+//	-metrics-out FILE   write the JSON run report to FILE
+//	-v                  verbose progress on stderr
+//	-pprof ADDR         serve net/http/pprof on ADDR (e.g. localhost:6060)
+type Flags struct {
+	Trace      bool
+	Verbose    bool
+	MetricsOut string
+	PprofAddr  string
+}
+
+// AddFlags registers the shared observability flags on fs.
+func AddFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.BoolVar(&f.Trace, "trace", false, "record per-phase spans and print the span tree on exit")
+	fs.BoolVar(&f.Verbose, "v", false, "verbose progress output on stderr")
+	fs.StringVar(&f.MetricsOut, "metrics-out", "", "write a JSON run report to this file")
+	fs.StringVar(&f.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	return f
+}
+
+// Run bundles the live observability state of one tool invocation.
+type Run struct {
+	Tracer  *Tracer // nil unless -trace or -metrics-out was given
+	Log     *Logger
+	Metrics *Metrics
+	Report  *Report
+
+	flags Flags
+	root  *Span
+	base  Snapshot
+	start time.Time
+}
+
+// Start builds the run state from the parsed flags: the logger, the tracer
+// (only when tracing or reporting is requested, so the nil fast path stays
+// active otherwise), the report skeleton, and the pprof server.
+func (f *Flags) Start(tool string) *Run {
+	r := &Run{
+		Log:     NewLogger(os.Stdout, os.Stderr, f.Verbose),
+		Metrics: Default(),
+		flags:   *f,
+		start:   time.Now(),
+	}
+	if f.Trace || f.MetricsOut != "" {
+		r.Tracer = NewTracer()
+	}
+	r.base = r.Metrics.Snapshot()
+	r.Report = &Report{
+		Tool:  tool,
+		Args:  os.Args[1:],
+		Start: r.start,
+		Env:   Environment(),
+	}
+	if f.PprofAddr != "" {
+		addr, lg := f.PprofAddr, r.Log
+		go func() {
+			if err := http.ListenAndServe(addr, nil); err != nil {
+				lg.Verbosef("pprof server on %s failed: %v", addr, err)
+			}
+		}()
+		r.Log.Verbosef("pprof listening on http://%s/debug/pprof", addr)
+	}
+	r.root = r.Tracer.StartSpan(tool)
+	return r
+}
+
+// CircuitBefore records (and verbosely logs) the input circuit.
+func (r *Run) CircuitBefore(c *circuit.Circuit) {
+	info := InfoOf(c)
+	r.Report.CircuitBefore = &info
+	r.Log.Verbosef("input %s: %v, paths %d", c.Name, c.Stats(), info.Paths)
+}
+
+// CircuitAfter records (and verbosely logs) the output circuit.
+func (r *Run) CircuitAfter(c *circuit.Circuit) {
+	info := InfoOf(c)
+	r.Report.CircuitAfter = &info
+	r.Log.Verbosef("output %s: %v, paths %d", c.Name, c.Stats(), info.Paths)
+}
+
+// Finish closes the root span, snapshots metrics into the report, prints the
+// span tree under -trace, and writes the JSON report when requested. It
+// returns the report-writing error (callers treat it as fatal so a missing
+// report never passes silently).
+func (r *Run) Finish() error {
+	r.root.End()
+	r.Report.DurationMS = float64(time.Since(r.start)) / float64(time.Millisecond)
+	r.Report.Spans = r.Tracer.Export()
+	r.Report.Metrics = r.Metrics.Snapshot().Diff(r.base)
+	if r.flags.Trace {
+		r.Tracer.Dump(os.Stderr)
+	}
+	if r.Log.Verbose() {
+		os.Stderr.WriteString(r.Report.Metrics.Format())
+	}
+	if r.flags.MetricsOut != "" {
+		if err := r.Report.WriteFile(r.flags.MetricsOut); err != nil {
+			return err
+		}
+		r.Log.Verbosef("wrote report %s", r.flags.MetricsOut)
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Logger is the run logger shared by the command-line tools: Printf carries
+// the tool's primary output, Verbosef carries progress detail that only
+// appears under -v (stamped with elapsed time). A nil *Logger no-ops.
+type Logger struct {
+	mu      sync.Mutex
+	out     io.Writer // primary output (results)
+	err     io.Writer // progress / diagnostics
+	verbose bool
+	start   time.Time
+}
+
+// NewLogger builds a logger writing results to out and verbose progress to
+// errw.
+func NewLogger(out, errw io.Writer, verbose bool) *Logger {
+	return &Logger{out: out, err: errw, verbose: verbose, start: time.Now()}
+}
+
+// Verbose reports whether -v output is enabled.
+func (l *Logger) Verbose() bool {
+	return l != nil && l.verbose
+}
+
+// Printf writes a primary result line.
+func (l *Logger) Printf(format string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fmt.Fprintf(l.out, format+"\n", args...)
+}
+
+// Verbosef writes a progress line when verbose mode is on, prefixed with the
+// elapsed wall-clock time.
+func (l *Logger) Verbosef(format string, args ...any) {
+	if l == nil || !l.verbose {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fmt.Fprintf(l.err, "[+%8.3fs] "+format+"\n",
+		append([]any{time.Since(l.start).Seconds()}, args...)...)
+}

@@ -1,0 +1,34 @@
+// Package obs is the observability substrate for the synthesis-for-
+// testability pipeline: hierarchical tracing spans, a process-wide metrics
+// registry, a verbose run logger, and a JSON run report that ties them all
+// together.
+//
+// Design constraints, in order:
+//
+//  1. Zero cost when off. Every entry point is nil-safe — a nil *Tracer,
+//     *Span or *Logger no-ops without allocating — so the pipeline packages
+//     instrument their hot loops unconditionally and pay nothing unless a
+//     command enables tracing. Counters are single atomic adds and stay on
+//     permanently.
+//  2. No dependencies beyond the standard library, matching the rest of the
+//     module.
+//  3. One JSON artifact per run. A Report serializes the tool name and
+//     arguments, environment, circuit statistics before and after, the span
+//     tree, and a snapshot of every registered metric, so experiments can be
+//     diffed and archived mechanically.
+//
+// The conventional wiring for a command is:
+//
+//	flags := obs.AddFlags(flag.CommandLine)
+//	flag.Parse()
+//	run := flags.Start("sft")
+//	defer run.Finish()
+//	sp := run.Tracer.StartSpan("load")
+//	...
+//	sp.End()
+//
+// Pipeline packages receive the tracer through their Options structs and
+// declare their counters at package init against the Default registry, e.g.
+//
+//	var mCandidates = obs.C("resynth.candidates_examined")
+package obs

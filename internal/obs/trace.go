@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Tracer records a tree of timed spans. A nil *Tracer is a valid disabled
+// tracer: StartSpan returns a nil *Span and the whole chain no-ops without
+// allocating, so instrumentation can stay in hot paths unconditionally.
+//
+// Span nesting follows the call structure of a single goroutine (the
+// pipeline is single-threaded); methods are nevertheless mutex-guarded so a
+// tracer shared across goroutines stays memory-safe.
+type Tracer struct {
+	mu sync.Mutex
+
+	// TrackAllocs samples runtime.MemStats.TotalAlloc at span start and end
+	// and records the delta. ReadMemStats briefly stops the world, so this
+	// is only appropriate for coarse (pass-level) spans; it is on by default
+	// because that is how the pipeline uses spans.
+	TrackAllocs bool
+
+	// MaxSpans bounds the recorded span count (default 16384); spans past
+	// the cap are counted in Dropped() but not retained.
+	MaxSpans int
+
+	epoch   time.Time
+	roots   []*Span
+	cur     *Span
+	nSpans  int
+	dropped int64
+}
+
+// NewTracer returns an enabled tracer with allocation tracking on.
+func NewTracer() *Tracer {
+	return &Tracer{TrackAllocs: true, MaxSpans: 16384, epoch: time.Now()}
+}
+
+// Span is one timed region. A nil *Span no-ops on every method.
+type Span struct {
+	name       string
+	tracer     *Tracer
+	parent     *Span
+	children   []*Span
+	start      time.Time
+	dur        time.Duration
+	allocStart uint64
+	allocBytes int64
+	ended      bool
+	attrs      []attr
+}
+
+type attr struct {
+	key   string
+	str   string
+	num   int64
+	isNum bool
+}
+
+func readAlloc() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.TotalAlloc
+}
+
+// StartSpan opens a span as a child of the most recently started open span.
+func (t *Tracer) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	max := t.MaxSpans
+	if max <= 0 {
+		max = 16384
+	}
+	if t.nSpans >= max {
+		t.dropped++
+		return nil
+	}
+	if t.epoch.IsZero() {
+		t.epoch = time.Now()
+	}
+	s := &Span{name: name, tracer: t, parent: t.cur, start: time.Now()}
+	if t.TrackAllocs {
+		s.allocStart = readAlloc()
+	}
+	if t.cur == nil {
+		t.roots = append(t.roots, s)
+	} else {
+		t.cur.children = append(t.cur.children, s)
+	}
+	t.cur = s
+	t.nSpans++
+	return s
+}
+
+// End closes the span, recording its duration and (when enabled) allocation
+// delta. Ending a span with open children closes the tracer's cursor back to
+// this span's parent; double End is harmless.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.tracer
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s.ended {
+		return
+	}
+	s.ended = true
+	s.dur = time.Since(s.start)
+	if t.TrackAllocs {
+		if a := readAlloc(); a >= s.allocStart {
+			s.allocBytes = int64(a - s.allocStart)
+		}
+	}
+	// Pop the cursor to this span's parent if the cursor is at or below s.
+	for c := t.cur; c != nil; c = c.parent {
+		if c == s {
+			t.cur = s.parent
+			break
+		}
+	}
+}
+
+// SetInt attaches an integer attribute to the span.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.tracer.mu.Lock()
+	s.attrs = append(s.attrs, attr{key: key, num: v, isNum: true})
+	s.tracer.mu.Unlock()
+}
+
+// SetStr attaches a string attribute to the span.
+func (s *Span) SetStr(key, v string) {
+	if s == nil {
+		return
+	}
+	s.tracer.mu.Lock()
+	s.attrs = append(s.attrs, attr{key: key, str: v})
+	s.tracer.mu.Unlock()
+}
+
+// Dropped returns the number of spans discarded because of MaxSpans.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// SpanJSON is the serialized form of a span subtree. Times are milliseconds;
+// StartMS is the offset from the tracer's creation.
+type SpanJSON struct {
+	Name       string         `json:"name"`
+	StartMS    float64        `json:"start_ms"`
+	DurMS      float64        `json:"dur_ms"`
+	AllocBytes int64          `json:"alloc_bytes,omitempty"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Children   []SpanJSON     `json:"children,omitempty"`
+}
+
+// Export snapshots the recorded span forest. Open spans are exported with
+// their duration so far.
+func (t *Tracer) Export() []SpanJSON {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanJSON, 0, len(t.roots))
+	for _, r := range t.roots {
+		out = append(out, t.export(r))
+	}
+	return out
+}
+
+func (t *Tracer) export(s *Span) SpanJSON {
+	dur := s.dur
+	if !s.ended {
+		dur = time.Since(s.start)
+	}
+	j := SpanJSON{
+		Name:       s.name,
+		StartMS:    float64(s.start.Sub(t.epoch)) / float64(time.Millisecond),
+		DurMS:      float64(dur) / float64(time.Millisecond),
+		AllocBytes: s.allocBytes,
+	}
+	if len(s.attrs) > 0 {
+		j.Attrs = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			if a.isNum {
+				j.Attrs[a.key] = a.num
+			} else {
+				j.Attrs[a.key] = a.str
+			}
+		}
+	}
+	for _, c := range s.children {
+		j.Children = append(j.Children, t.export(c))
+	}
+	return j
+}
+
+// Dump writes an indented text rendering of the span forest.
+func (t *Tracer) Dump(w io.Writer) {
+	for _, s := range t.Export() {
+		dumpSpan(w, s, 0)
+	}
+	if d := t.Dropped(); d > 0 {
+		fmt.Fprintf(w, "(+%d spans dropped past cap)\n", d)
+	}
+}
+
+func dumpSpan(w io.Writer, s SpanJSON, depth int) {
+	indent := ""
+	for i := 0; i < depth; i++ {
+		indent += "  "
+	}
+	line := fmt.Sprintf("%s%-*s %9.2fms", indent, 28-2*depth, s.Name, s.DurMS)
+	if s.AllocBytes > 0 {
+		line += fmt.Sprintf(" %8.1fKB", float64(s.AllocBytes)/1024)
+	}
+	for k, v := range s.Attrs {
+		line += fmt.Sprintf(" %s=%v", k, v)
+	}
+	fmt.Fprintln(w, line)
+	for _, c := range s.Children {
+		dumpSpan(w, c, depth+1)
+	}
+}

@@ -7,13 +7,22 @@
 package redundancy
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"compsynth/internal/atpg"
 	"compsynth/internal/circuit"
 	"compsynth/internal/faults"
 	"compsynth/internal/faultsim"
+	"compsynth/internal/obs"
 	"compsynth/internal/simulate"
+)
+
+// Removal metrics.
+var (
+	mRounds    = obs.C("redundancy.rounds")
+	mRedundant = obs.C("redundancy.faults_proven_redundant")
+	mAborted   = obs.C("redundancy.faults_aborted")
 )
 
 // Options configures the removal pass.
@@ -28,6 +37,10 @@ type Options struct {
 	// Verify re-checks functional equivalence after every round.
 	Verify bool
 	Seed   int64
+
+	// Tracer records per-round spans when non-nil; nil (the default) keeps
+	// the zero-overhead fast path.
+	Tracer *obs.Tracer
 }
 
 // DefaultOptions returns a configuration suited to the benchmark suite.
@@ -50,6 +63,18 @@ func (r *Result) String() string {
 		r.Rounds, r.Removed, r.Aborted, r.GatesBefore, r.GatesAfter)
 }
 
+// MarshalJSON serializes the run statistics (the circuit itself is omitted;
+// reports carry circuit summaries separately). Field names mirror String().
+func (r *Result) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Rounds      int `json:"rounds"`
+		Removed     int `json:"removed"`
+		Aborted     int `json:"aborted"`
+		GatesBefore int `json:"gates_before"`
+		GatesAfter  int `json:"gates_after"`
+	}{r.Rounds, r.Removed, r.Aborted, r.GatesBefore, r.GatesAfter})
+}
+
 // Remove returns an irredundant (up to ATPG aborts) equivalent of c.
 // The input circuit is not modified.
 func Remove(c *circuit.Circuit, opt Options) (*Result, error) {
@@ -59,6 +84,8 @@ func Remove(c *circuit.Circuit, opt Options) (*Result, error) {
 	if opt.MaxRounds <= 0 {
 		opt.MaxRounds = 20
 	}
+	sp := opt.Tracer.StartSpan("redundancy.remove")
+	defer sp.End()
 	poNames := c.PONames()
 	work := c.Clone()
 	work.Simplify()
@@ -66,15 +93,24 @@ func Remove(c *circuit.Circuit, opt Options) (*Result, error) {
 	work, _ = work.Compact()
 	res := &Result{GatesBefore: c.Equiv2Count()}
 	for round := 0; round < opt.MaxRounds; round++ {
+		rsp := opt.Tracer.StartSpan("redundancy.round")
+		rsp.SetInt("round", int64(round))
 		res.Rounds++
+		mRounds.Inc()
 		fl := faults.Collapse(work)
-		sim := faultsim.RunRandom(work, fl, opt.FilterPatterns, opt.Seed+int64(round))
+		sim := faultsim.Campaign(work, fl, faultsim.CampaignOptions{
+			Patterns: opt.FilterPatterns,
+			Seed:     opt.Seed + int64(round),
+			Tracer:   opt.Tracer,
+		})
 		removedThisRound := 0
 		res.Aborted = 0
 		// Each fault is (re-)proved against the live circuit, so removals
 		// within the round stay sound even though they interact. Rewrites
 		// only fold lines to constants, which keeps the remaining fault
 		// sites structurally valid until the end-of-round simplification.
+		asp := opt.Tracer.StartSpan("redundancy.atpg")
+		asp.SetInt("hard_faults", int64(len(sim.Remaining)))
 		for _, f := range sim.Remaining {
 			if !work.Alive(f.Node) || (f.Pin >= 0 && f.Pin >= len(work.Nodes[f.Node].Fanin)) {
 				continue
@@ -85,11 +121,17 @@ func Remove(c *circuit.Circuit, opt Options) (*Result, error) {
 				rewrite(work, f)
 				removedThisRound++
 				res.Removed++
+				mRedundant.Inc()
 			case atpg.Aborted:
 				res.Aborted++
+				mAborted.Inc()
 			}
 		}
+		asp.End()
+		rsp.SetInt("removed", int64(removedThisRound))
+		rsp.SetInt("aborted", int64(res.Aborted))
 		if removedThisRound == 0 {
+			rsp.End()
 			break
 		}
 		before := work.Clone()
@@ -97,8 +139,10 @@ func Remove(c *circuit.Circuit, opt Options) (*Result, error) {
 		work.Strash()
 		work, _ = work.Compact()
 		if opt.Verify && !simulate.EquivalentRandom(before, work, 16, 12, opt.Seed) {
+			rsp.End()
 			return nil, fmt.Errorf("redundancy: round %d simplification broke equivalence", round)
 		}
+		rsp.End()
 	}
 	work.PreservePONames(poNames)
 	res.Circuit = work

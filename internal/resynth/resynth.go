@@ -7,15 +7,26 @@
 package resynth
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
 
 	"compsynth/internal/circuit"
 	"compsynth/internal/compare"
 	"compsynth/internal/logic"
+	"compsynth/internal/obs"
 	"compsynth/internal/paths"
 	"compsynth/internal/simulate"
 	"compsynth/internal/subckt"
+)
+
+// Pipeline metrics (process-wide; single atomic adds in the hot loops).
+var (
+	mCandidates   = obs.C("resynth.candidates_examined")
+	mReplacements = obs.C("resynth.replacements_accepted")
+	mPasses       = obs.C("resynth.passes")
+	mCacheHits    = obs.C("resynth.identify_cache_hits")
+	hCandInputs   = obs.H("resynth.candidate_inputs")
 )
 
 // Objective selects the optimization target.
@@ -74,6 +85,10 @@ type Options struct {
 	CombinedGateWeight float64
 
 	Seed int64
+
+	// Tracer records per-pass spans when non-nil; nil (the default) keeps
+	// the zero-overhead fast path.
+	Tracer *obs.Tracer
 }
 
 // DefaultOptions returns the paper's experimental configuration (K=5).
@@ -114,12 +129,29 @@ func (r *Result) String() string {
 		r.Passes, r.Replacements, r.GatesBefore, r.GatesAfter, r.PathsBefore, r.PathsAfter)
 }
 
+// MarshalJSON serializes the run statistics (the circuit itself is omitted;
+// reports carry circuit summaries separately). Field names mirror String().
+func (r *Result) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Passes       int    `json:"passes"`
+		Replacements int    `json:"replacements"`
+		GatesBefore  int    `json:"gates_before"`
+		GatesAfter   int    `json:"gates_after"`
+		PathsBefore  uint64 `json:"paths_before"`
+		PathsAfter   uint64 `json:"paths_after"`
+	}{r.Passes, r.Replacements, r.GatesBefore, r.GatesAfter, r.PathsBefore, r.PathsAfter})
+}
+
 // Optimize runs the selected procedure on a copy of c until no further
 // improvement. The input circuit is not modified.
 func Optimize(c *circuit.Circuit, opt Options) (*Result, error) {
 	if opt.K <= 0 || opt.MaxPasses <= 0 {
 		return nil, fmt.Errorf("resynth: invalid options K=%d passes=%d", opt.K, opt.MaxPasses)
 	}
+	sp := opt.Tracer.StartSpan("resynth.optimize")
+	defer sp.End()
+	sp.SetStr("objective", opt.Objective.String())
+	sp.SetInt("k", int64(opt.K))
 	poNames := c.PONames()
 	work := c.Clone()
 	work.Simplify()
@@ -135,15 +167,26 @@ func Optimize(c *circuit.Circuit, opt Options) (*Result, error) {
 		rng:        rand.New(rand.NewSource(opt.Seed)),
 	}
 	for pass := 0; pass < opt.MaxPasses; pass++ {
+		psp := opt.Tracer.StartSpan("resynth.pass")
+		psp.SetInt("pass", int64(pass))
 		before := work.Clone()
 		n := o.pass(work)
+		mPasses.Inc()
 		res.Passes++
 		res.Replacements += n
 		work.Simplify()
 		work, _ = work.Compact()
-		if opt.Verify && !simulate.EquivalentRandom(before, work, 32, 14, opt.Seed+int64(pass)) {
-			return nil, fmt.Errorf("resynth: pass %d broke equivalence", pass)
+		if opt.Verify {
+			vsp := opt.Tracer.StartSpan("resynth.verify")
+			ok := simulate.EquivalentRandom(before, work, 32, 14, opt.Seed+int64(pass))
+			vsp.End()
+			if !ok {
+				psp.End()
+				return nil, fmt.Errorf("resynth: pass %d broke equivalence", pass)
+			}
 		}
+		psp.SetInt("replacements", int64(n))
+		psp.End()
 		if n == 0 {
 			break
 		}
@@ -179,8 +222,16 @@ type optimizer struct {
 
 // pass performs one output-to-input sweep and returns the replacement count.
 func (o *optimizer) pass(c *circuit.Circuit) int {
+	csp := o.opt.Tracer.StartSpan("resynth.cuts")
 	o.db = subckt.ComputeCuts(c, o.opt.K, o.opt.MaxCandidates)
-	o.prepareSDC(c)
+	csp.End()
+	if o.opt.UseSDC {
+		ssp := o.opt.Tracer.StartSpan("resynth.sdc")
+		o.prepareSDC(c)
+		ssp.End()
+	} else {
+		o.prepareSDC(c)
+	}
 	np, npOK := paths.Labels(c)
 	topo := c.Topo()
 	marked := make(map[int]bool)
@@ -200,6 +251,7 @@ func (o *optimizer) pass(c *circuit.Circuit) int {
 		best := o.selectReplacement(c, g, np, npOK)
 		if best != nil {
 			o.apply(c, best)
+			mReplacements.Inc()
 			replaced++
 			for _, in := range best.sub.Inputs {
 				marked[in] = true
@@ -247,6 +299,8 @@ func (o *optimizer) selectReplacement(c *circuit.Circuit, g int, np []uint64, np
 		}
 	}
 	for _, sub := range subs {
+		mCandidates.Inc()
+		hCandInputs.Observe(float64(len(sub.Inputs)))
 		tt := sub.Extract(c)
 		// Drop inputs the function does not depend on: they contribute no
 		// logic and their paths disappear entirely.
@@ -403,6 +457,7 @@ func (o *optimizer) careSet(inputs []int) logic.TT {
 func (o *optimizer) identifyMulti(tt logic.TT) (compare.MultiSpec, bool) {
 	key := fmt.Sprintf("%d:%x", tt.Vars(), tt.Words())
 	if r, ok := o.multiCache[key]; ok {
+		mCacheHits.Inc()
 		return r.spec, r.ok
 	}
 	spec, ok := compare.IdentifyMulti(tt, o.opt.MaxUnits, o.opt.MultiPerms, o.rng)
@@ -415,6 +470,7 @@ func (o *optimizer) identifyMulti(tt logic.TT) (compare.MultiSpec, bool) {
 func (o *optimizer) identify(tt logic.TT) (compare.Spec, bool) {
 	key := fmt.Sprintf("%d:%x", tt.Vars(), tt.Words())
 	if r, ok := o.cache[key]; ok {
+		mCacheHits.Inc()
 		return r.spec, r.ok
 	}
 	var spec compare.Spec
