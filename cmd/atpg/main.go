@@ -45,7 +45,7 @@ func main() {
 	easy := 0
 	if *filter > 0 {
 		res := faultsim.Campaign(c, fl, faultsim.CampaignOptions{
-			Patterns: *filter, Seed: 7, Tracer: run.Tracer,
+			Patterns: *filter, Seed: 7, Workers: oflags.Workers, Tracer: run.Tracer,
 		})
 		hard = res.Remaining
 		easy = res.Detected

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	faultsim [-patterns n] [-seed n] [-list-remaining]
+//	faultsim [-patterns n] [-seed n] [-list-remaining] [-workers n]
 //	         [-trace] [-metrics-out report.json] [-v] [-pprof addr] circuit.bench
 package main
 
@@ -38,7 +38,7 @@ func main() {
 	run.CircuitBefore(c)
 	fl := faults.Collapse(c)
 	res := faultsim.Campaign(c, fl, faultsim.CampaignOptions{
-		Patterns: *patterns, Seed: *seed, Tracer: run.Tracer,
+		Patterns: *patterns, Seed: *seed, Workers: oflags.Workers, Tracer: run.Tracer,
 	})
 	lg.Printf("%s: %v", c.Name, c.Stats())
 	lg.Printf("collapsed faults: %d", len(fl))

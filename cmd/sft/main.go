@@ -5,7 +5,7 @@
 // Usage:
 //
 //	sft -in circuit.bench [-out out.bench] [-objective gates|paths|combined]
-//	    [-k 5] [-sampling] [-redundancy] [-report]
+//	    [-k 5] [-sampling] [-redundancy] [-report] [-workers n]
 //	    [-trace] [-metrics-out report.json] [-v] [-pprof addr]
 package main
 
@@ -15,6 +15,9 @@ import (
 	"os"
 
 	"compsynth"
+	"compsynth/internal/delay"
+	"compsynth/internal/faults"
+	"compsynth/internal/faultsim"
 	"compsynth/internal/obs"
 	"compsynth/internal/redundancy"
 	"compsynth/internal/resynth"
@@ -56,7 +59,7 @@ func main() {
 	}
 
 	run := oflags.Start("sft")
-	if err := sft(run, *in, *out, obj, *k, *sampling, *redund, *maxUnits, *useSDC, *report, *seed); err != nil {
+	if err := sft(run, *in, *out, obj, *k, *sampling, *redund, *maxUnits, *useSDC, *report, *seed, oflags.Workers); err != nil {
 		fmt.Fprintf(os.Stderr, "sft: %v\n", err)
 		run.Report.Error = err.Error()
 		run.Finish() // best-effort partial report; the run still fails
@@ -69,7 +72,7 @@ func main() {
 }
 
 func sft(run *obs.Run, in, out string, obj resynth.Objective, k int,
-	sampling, redund bool, maxUnits int, useSDC, report bool, seed int64) error {
+	sampling, redund bool, maxUnits int, useSDC, report bool, seed int64, workers int) error {
 	lg := run.Log
 
 	sp := run.Tracer.StartSpan("load")
@@ -93,6 +96,7 @@ func sft(run *obs.Run, in, out string, obj resynth.Objective, k int,
 	opt.MaxUnits = maxUnits
 	opt.UseSDC = useSDC
 	opt.Seed = seed
+	opt.Workers = workers
 	opt.Tracer = run.Tracer
 	lg.Verbosef("resynthesis starting (objective=%v K=%d sampling=%v)", obj, k, sampling)
 	res, err := compsynth.Optimize(c, opt)
@@ -126,13 +130,17 @@ func sft(run *obs.Run, in, out string, obj resynth.Objective, k int,
 
 	if report {
 		ssp := run.Tracer.StartSpan("stuckat.campaign")
-		sa := compsynth.StuckAtCampaign(final, 1<<16, seed)
+		sa := faultsim.Campaign(final, faults.Collapse(final), faultsim.CampaignOptions{
+			Patterns: 1 << 16, Seed: seed, Workers: workers,
+		})
 		ssp.End()
 		run.Report.AddResult("stuck_at", sa)
 		lg.Printf("stuck-at: %d faults, %d undetected after %d random patterns (eff. %d)",
 			sa.TotalFaults, len(sa.Remaining), sa.Patterns, sa.LastEffective)
 		psp := run.Tracer.StartSpan("pathdelay.campaign")
-		pd := compsynth.PathDelayCampaign(final, 10000, 1000, seed)
+		pd := delay.RunRandom(final, delay.CampaignOptions{
+			MaxPairs: 10000, QuietPairs: 1000, Seed: seed,
+		})
 		psp.End()
 		run.Report.AddResult("path_delay", pd)
 		lg.Printf("robust PDF: %d/%d detected (%.2f%%), eff. pair %d",

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	tables [-table all|2|3|4|5|6|7] [-scale f] [-quick] [-seed n]
-//	       [-patterns n] [-pairs n] [-circuits a,b,c] [-noverify]
+//	       [-patterns n] [-pairs n] [-circuits a,b,c] [-noverify] [-workers n]
 //	       [-trace] [-metrics-out report.json] [-v] [-pprof addr]
 package main
 
@@ -55,6 +55,7 @@ func main() {
 		cfg.Circuits = strings.Split(*circuits, ",")
 	}
 	cfg.Verify = !*noverify
+	cfg.Workers = oflags.Workers
 
 	orun := oflags.Start("tables")
 	lg := orun.Log

@@ -6,6 +6,7 @@ package exper
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"compsynth/internal/circuit"
 	"compsynth/internal/delay"
@@ -13,6 +14,7 @@ import (
 	"compsynth/internal/faultsim"
 	"compsynth/internal/gen"
 	"compsynth/internal/obs"
+	"compsynth/internal/par"
 	"compsynth/internal/paths"
 	"compsynth/internal/rambo"
 	"compsynth/internal/redundancy"
@@ -32,8 +34,21 @@ type Config struct {
 	MakeIrredundant bool     // apply redundancy removal to the raw circuits
 	Verify          bool     // per-pass equivalence checking
 
+	// Workers bounds the concurrency of suite preparation and table
+	// regeneration (0 = runtime.GOMAXPROCS(0), 1 = serial). Benchmark
+	// circuits and table rows are independent, so they run through one
+	// bounded pool; the engines inside each row (resynthesis candidate
+	// prefetch, fault-simulation blocks) then run serial so the machine is
+	// not oversubscribed, and inherit the full worker budget only when the
+	// row fan-out cannot use it (a single-circuit suite). Every level is
+	// bit-identical for every worker count, so the split is purely a
+	// scheduling choice.
+	Workers int
+
 	// Tracer, when non-nil, is threaded into every optimizer and removal
-	// run so table regeneration produces a per-circuit span tree.
+	// run so table regeneration produces a per-circuit span tree. With
+	// Workers > 1 spans from concurrent rows interleave: timings stay
+	// valid, but parent/child nesting across rows is not meaningful.
 	Tracer *obs.Tracer
 }
 
@@ -69,10 +84,17 @@ type Named struct {
 
 // Suite holds prepared circuits plus memoized optimizer results so the
 // tables can share the expensive runs (Procedure 2 appears in Tables 2, 4,
-// 6 and 7).
+// 6 and 7). The memos are mutex-guarded so table rows may run concurrently;
+// every memoized computation is deterministic, so a racing double-compute
+// of the same circuit (which the per-row fan-out never produces anyway)
+// would store equal values.
 type Suite struct {
-	cfg    Config
-	items  []Named
+	cfg   Config
+	items []Named
+	pool  int // suite-level fan-out width
+	inner int // worker budget for engines inside one row
+
+	mu     sync.Mutex
 	proc2  map[string]*procResult
 	proc3  map[string]*procResult
 	ramboR map[string]*rambo.Result
@@ -89,8 +111,13 @@ func (s *Suite) Items() []Named { return s.items }
 
 // NewSuite wraps prepared circuits for the table functions.
 func NewSuite(cfg Config, items []Named) *Suite {
+	pool := par.Workers(cfg.Workers)
+	inner := 1
+	if pool > 1 && len(items) <= 1 {
+		inner = pool // the row fan-out cannot use the budget; the engines can
+	}
 	return &Suite{
-		cfg: cfg, items: items,
+		cfg: cfg, items: items, pool: pool, inner: inner,
 		proc2:  map[string]*procResult{},
 		proc3:  map[string]*procResult{},
 		ramboR: map[string]*rambo.Result{},
@@ -100,33 +127,46 @@ func NewSuite(cfg Config, items []Named) *Suite {
 
 // Proc2 returns the (memoized) best Procedure 2 result for a circuit.
 func (s *Suite) Proc2(nc Named) (*resynth.Result, int, error) {
-	if r, ok := s.proc2[nc.Name]; ok {
+	s.mu.Lock()
+	r, ok := s.proc2[nc.Name]
+	s.mu.Unlock()
+	if ok {
 		return r.res, r.k, nil
 	}
-	res, k, err := runProc(nc.Circuit, resynth.MinGates, s.cfg)
+	res, k, err := runProc(nc.Circuit, resynth.MinGates, s.cfg, s.inner)
 	if err != nil {
 		return nil, 0, err
 	}
+	s.mu.Lock()
 	s.proc2[nc.Name] = &procResult{res, k}
+	s.mu.Unlock()
 	return res, k, nil
 }
 
 // Proc3 returns the (memoized) best Procedure 3 result.
 func (s *Suite) Proc3(nc Named) (*resynth.Result, int, error) {
-	if r, ok := s.proc3[nc.Name]; ok {
+	s.mu.Lock()
+	r, ok := s.proc3[nc.Name]
+	s.mu.Unlock()
+	if ok {
 		return r.res, r.k, nil
 	}
-	res, k, err := runProc(nc.Circuit, resynth.MinPaths, s.cfg)
+	res, k, err := runProc(nc.Circuit, resynth.MinPaths, s.cfg, s.inner)
 	if err != nil {
 		return nil, 0, err
 	}
+	s.mu.Lock()
 	s.proc3[nc.Name] = &procResult{res, k}
+	s.mu.Unlock()
 	return res, k, nil
 }
 
 // Rambo returns the (memoized) baseline result.
 func (s *Suite) Rambo(nc Named) (*rambo.Result, error) {
-	if r, ok := s.ramboR[nc.Name]; ok {
+	s.mu.Lock()
+	r, ok := s.ramboR[nc.Name]
+	s.mu.Unlock()
+	if ok {
 		return r, nil
 	}
 	opt := rambo.DefaultOptions()
@@ -135,14 +175,19 @@ func (s *Suite) Rambo(nc Named) (*rambo.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.mu.Lock()
 	s.ramboR[nc.Name] = res
+	s.mu.Unlock()
 	return res, nil
 }
 
 // ModifiedRR returns the (memoized) Procedure 2 + redundancy-removal
 // circuit, the paper's "modified" version.
 func (s *Suite) ModifiedRR(nc Named) (*redundancy.Result, error) {
-	if r, ok := s.rrMod[nc.Name]; ok {
+	s.mu.Lock()
+	r, ok := s.rrMod[nc.Name]
+	s.mu.Unlock()
+	if ok {
 		return r, nil
 	}
 	res, _, err := s.Proc2(nc)
@@ -156,18 +201,25 @@ func (s *Suite) ModifiedRR(nc Named) (*redundancy.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.mu.Lock()
 	s.rrMod[nc.Name] = rr
+	s.mu.Unlock()
 	return rr, nil
 }
 
 // PrepareSuite generates the benchmark circuits (optionally made
-// irredundant, as the paper requires).
+// irredundant, as the paper requires). Circuits are independent — each is
+// generated from its own seed — so preparation fans out over cfg.Workers.
 func PrepareSuite(cfg Config) ([]Named, error) {
-	var out []Named
+	var benches []gen.Bench
 	for _, b := range gen.Suite(cfg.Scale) {
 		if len(cfg.Circuits) > 0 && !contains(cfg.Circuits, b.Name) {
 			continue
 		}
+		benches = append(benches, b)
+	}
+	return par.MapErr(par.Workers(cfg.Workers), len(benches), func(i int) (Named, error) {
+		b := benches[i]
 		c := b.Build()
 		if cfg.MakeIrredundant {
 			opt := redundancy.DefaultOptions()
@@ -180,14 +232,13 @@ func PrepareSuite(cfg Config) ([]Named, error) {
 			opt.FilterPatterns = 8192
 			res, err := redundancy.Remove(c, opt)
 			if err != nil {
-				return nil, fmt.Errorf("%s: %v", b.Name, err)
+				return Named{}, fmt.Errorf("%s: %v", b.Name, err)
 			}
 			c = res.Circuit
 			c.Name = b.Name
 		}
-		out = append(out, Named{Name: b.Name, Circuit: c})
-	}
-	return out, nil
+		return Named{Name: b.Name, Circuit: c}, nil
+	})
 }
 
 func contains(xs []string, s string) bool {
@@ -200,8 +251,9 @@ func contains(xs []string, s string) bool {
 }
 
 // runProc runs a resynthesis procedure for each K and returns the best
-// result under the objective.
-func runProc(c *circuit.Circuit, obj resynth.Objective, cfg Config) (*resynth.Result, int, error) {
+// result under the objective. workers is the budget for the optimizer's
+// candidate prefetch (it does not change results).
+func runProc(c *circuit.Circuit, obj resynth.Objective, cfg Config, workers int) (*resynth.Result, int, error) {
 	var best *resynth.Result
 	bestK := 0
 	for _, k := range cfg.Ks {
@@ -209,6 +261,7 @@ func runProc(c *circuit.Circuit, obj resynth.Objective, cfg Config) (*resynth.Re
 		opt.K = k
 		opt.Objective = obj
 		opt.Verify = cfg.Verify
+		opt.Workers = workers
 		opt.Tracer = cfg.Tracer
 		res, err := resynth.Optimize(c, opt)
 		if err != nil {
@@ -247,12 +300,15 @@ type Table2Row struct {
 }
 
 // Table2 runs Procedure 2 (best of cfg.Ks) followed by redundancy removal.
+// Rows are independent and run through the suite pool; the returned slice
+// is in suite order regardless of worker count.
 func Table2(s *Suite) ([]Table2Row, error) {
-	var rows []Table2Row
-	for _, nc := range s.Items() {
+	items := s.Items()
+	return par.MapErr(s.pool, len(items), func(i int) (Table2Row, error) {
+		nc := items[i]
 		res, k, err := s.Proc2(nc)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %v", nc.Name, err)
+			return Table2Row{}, fmt.Errorf("%s: %v", nc.Name, err)
 		}
 		row := Table2Row{
 			Name: nc.Name, K: k,
@@ -262,16 +318,15 @@ func Table2(s *Suite) ([]Table2Row, error) {
 		}
 		rr, err := s.ModifiedRR(nc)
 		if err != nil {
-			return nil, fmt.Errorf("%s: redundancy: %v", nc.Name, err)
+			return Table2Row{}, fmt.Errorf("%s: redundancy: %v", nc.Name, err)
 		}
 		if rr.Removed > 0 {
 			row.GatesRR = rr.GatesAfter
 			row.PathsRR = paths.MustCount(rr.Circuit)
 			row.Removed = rr.Removed
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // Table3Row is one line of Table 3 (baseline comparison).
@@ -290,22 +345,25 @@ var Table3Circuits = []string{"rs1423", "rs5378", "rs9234", "rs13207"}
 
 // Table3 compares the RAMBO_C-style baseline with baseline+Procedure 2.
 func Table3(s *Suite) ([]Table3Row, error) {
-	var rows []Table3Row
+	var subset []Named
 	for _, nc := range s.Items() {
-		if !contains(Table3Circuits, nc.Name) {
-			continue
+		if contains(Table3Circuits, nc.Name) {
+			subset = append(subset, nc)
 		}
+	}
+	return par.MapErr(s.pool, len(subset), func(i int) (Table3Row, error) {
+		nc := subset[i]
 		rres, err := s.Rambo(nc)
 		if err != nil {
-			return nil, fmt.Errorf("%s: rambo: %v", nc.Name, err)
+			return Table3Row{}, fmt.Errorf("%s: rambo: %v", nc.Name, err)
 		}
 		ccfg := s.cfg
 		ccfg.Ks = []int{6}
-		combo, k, err := runProc(rres.Circuit, resynth.MinGates, ccfg)
+		combo, k, err := runProc(rres.Circuit, resynth.MinGates, ccfg, s.inner)
 		if err != nil {
-			return nil, fmt.Errorf("%s: combo: %v", nc.Name, err)
+			return Table3Row{}, fmt.Errorf("%s: combo: %v", nc.Name, err)
 		}
-		rows = append(rows, Table3Row{
+		return Table3Row{
 			Name:       nc.Name,
 			GatesOrig:  nc.Circuit.Equiv2Count(),
 			PathsOrig:  paths.MustCount(nc.Circuit),
@@ -314,9 +372,8 @@ func Table3(s *Suite) ([]Table3Row, error) {
 			K:          k,
 			GatesCombo: uint64(combo.GatesAfter),
 			PathsCombo: combo.PathsAfter,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // Table4Row is one line of Table 4 (technology mapping).
@@ -329,33 +386,46 @@ type Table4Row struct {
 // Table4 maps original vs Procedure 2 circuits (part a) and baseline vs
 // baseline+Procedure 2 (part b).
 func Table4(s *Suite) (partA, partB []Table4Row, err error) {
+	var subset []Named
 	for _, nc := range s.Items() {
-		if !contains(Table3Circuits, nc.Name) {
-			continue
+		if contains(Table3Circuits, nc.Name) {
+			subset = append(subset, nc)
 		}
+	}
+	type pair struct{ a, b Table4Row }
+	rows, err := par.MapErr(s.pool, len(subset), func(i int) (pair, error) {
+		nc := subset[i]
 		p2, _, err := s.Proc2(nc)
 		if err != nil {
-			return nil, nil, err
+			return pair{}, err
 		}
 		ra := techmap.Map(nc.Circuit)
 		rb := techmap.Map(p2.Circuit)
-		partA = append(partA, Table4Row{Name: nc.Name,
-			LitsA: ra.Literals, LongA: ra.Longest, LitsB: rb.Literals, LongB: rb.Longest})
+		a := Table4Row{Name: nc.Name,
+			LitsA: ra.Literals, LongA: ra.Longest, LitsB: rb.Literals, LongB: rb.Longest}
 
 		rres, err := s.Rambo(nc)
 		if err != nil {
-			return nil, nil, err
+			return pair{}, err
 		}
 		ccfg := s.cfg
 		ccfg.Ks = []int{6}
-		combo, _, err := runProc(rres.Circuit, resynth.MinGates, ccfg)
+		combo, _, err := runProc(rres.Circuit, resynth.MinGates, ccfg, s.inner)
 		if err != nil {
-			return nil, nil, err
+			return pair{}, err
 		}
 		rc := techmap.Map(rres.Circuit)
 		rd := techmap.Map(combo.Circuit)
-		partB = append(partB, Table4Row{Name: nc.Name,
-			LitsA: rc.Literals, LongA: rc.Longest, LitsB: rd.Literals, LongB: rd.Longest})
+		b := Table4Row{Name: nc.Name,
+			LitsA: rc.Literals, LongA: rc.Longest, LitsB: rd.Literals, LongB: rd.Longest}
+		return pair{a, b}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, p := range rows {
+		partA = append(partA, p.a)
+		partB = append(partB, p.b)
 	}
 	return partA, partB, nil
 }
@@ -371,20 +441,20 @@ type Table5Row struct {
 
 // Table5 runs Procedure 3 (best of cfg.Ks by path count).
 func Table5(s *Suite) ([]Table5Row, error) {
-	var rows []Table5Row
-	for _, nc := range s.Items() {
+	items := s.Items()
+	return par.MapErr(s.pool, len(items), func(i int) (Table5Row, error) {
+		nc := items[i]
 		res, k, err := s.Proc3(nc)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %v", nc.Name, err)
+			return Table5Row{}, fmt.Errorf("%s: %v", nc.Name, err)
 		}
-		rows = append(rows, Table5Row{
+		return Table5Row{
 			Name: nc.Name, K: k,
 			In: len(nc.Circuit.Inputs), Out: len(nc.Circuit.Outputs),
 			GatesOrig: res.GatesBefore, GatesMod: res.GatesAfter,
 			PathsOrig: res.PathsBefore, PathsMod: res.PathsAfter,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // Table6Row is one line of Table 6 (random-pattern stuck-at testability).
@@ -399,23 +469,25 @@ type Table6Row struct {
 // same pattern sequence (same seed).
 func Table6(s *Suite) ([]Table6Row, error) {
 	cfg := s.cfg
-	var rows []Table6Row
-	for _, nc := range s.Items() {
+	items := s.Items()
+	return par.MapErr(s.pool, len(items), func(i int) (Table6Row, error) {
+		nc := items[i]
 		rr, err := s.ModifiedRR(nc)
 		if err != nil {
-			return nil, err
+			return Table6Row{}, err
 		}
-		orig := faultsim.Campaign(nc.Circuit, faults.Collapse(nc.Circuit),
-			faultsim.CampaignOptions{Patterns: cfg.StuckPatterns, Seed: cfg.Seed, Tracer: cfg.Tracer})
-		mod := faultsim.Campaign(rr.Circuit, faults.Collapse(rr.Circuit),
-			faultsim.CampaignOptions{Patterns: cfg.StuckPatterns, Seed: cfg.Seed, Tracer: cfg.Tracer})
-		rows = append(rows, Table6Row{
+		copt := faultsim.CampaignOptions{
+			Patterns: cfg.StuckPatterns, Seed: cfg.Seed,
+			Workers: s.inner, Tracer: cfg.Tracer,
+		}
+		orig := faultsim.Campaign(nc.Circuit, faults.Collapse(nc.Circuit), copt)
+		mod := faultsim.Campaign(rr.Circuit, faults.Collapse(rr.Circuit), copt)
+		return Table6Row{
 			Name:       nc.Name,
 			FaultsOrig: orig.TotalFaults, RemainOrig: len(orig.Remaining), EffOrig: orig.LastEffective,
 			FaultsMod: mod.TotalFaults, RemainMod: len(mod.Remaining), EffMod: mod.LastEffective,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // Table7Row is one line of Table 7 (robust PDF detection).
@@ -458,29 +530,30 @@ func Table7(s *Suite) ([]Table7Row, error) {
 		c    *circuit.Circuit
 	}{"RAMBO_C", rres.Circuit})
 
-	var rows []Table7Row
-	for _, v := range versions {
-		mod, _, err := runProc(v.c, resynth.MinGates, cfg)
+	// The two versions derive from distinct circuit objects (the original
+	// and the RAMBO result), so they run through the pool like table rows.
+	return par.MapErr(s.pool, len(versions), func(i int) (Table7Row, error) {
+		v := versions[i]
+		mod, _, err := runProc(v.c, resynth.MinGates, cfg, s.inner)
 		if err != nil {
-			return nil, err
+			return Table7Row{}, err
 		}
 		rd := redundancy.DefaultOptions()
 		rd.Verify = cfg.Verify
 		rd.Tracer = cfg.Tracer
 		rr, err := redundancy.Remove(mod.Circuit, rd)
 		if err != nil {
-			return nil, err
+			return Table7Row{}, err
 		}
 		copt := delay.CampaignOptions{MaxPairs: cfg.PDFPairs, QuietPairs: cfg.PDFQuiet, Seed: cfg.Seed}
 		before := delay.RunRandom(v.c, copt)
 		after := delay.RunRandom(rr.Circuit, copt)
-		rows = append(rows, Table7Row{
+		return Table7Row{
 			Version: v.name,
 			EffOrig: before.LastEffective, DetOrig: before.Detected, FaultsOrig: before.TotalFaults,
 			EffMod: after.LastEffective, DetMod: after.Detected, FaultsMod: after.TotalFaults,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // --- formatting -----------------------------------------------------------

@@ -1,0 +1,79 @@
+package exper
+
+import (
+	"reflect"
+	"testing"
+)
+
+// smallConfig is an even smaller configuration than tinyConfig, sized so
+// the serial-vs-parallel comparison runs twice inside -short budgets.
+func smallConfig(workers int) Config {
+	cfg := tinyConfig()
+	cfg.Scale = 0.05
+	cfg.StuckPatterns = 1 << 10
+	cfg.Workers = workers
+	return cfg
+}
+
+// TestTablesParallelMatchSerial is the driver-level determinism contract:
+// suite preparation and the row-parallel tables produce identical rows in
+// identical order for any worker count.
+func TestTablesParallelMatchSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table determinism test in -short mode")
+	}
+	type outcome struct {
+		rows2 []Table2Row
+		rows5 []Table5Row
+		rows6 []Table6Row
+	}
+	run := func(workers int) outcome {
+		cfg := smallConfig(workers)
+		items, err := PrepareSuite(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewSuite(cfg, items)
+		rows2, err := Table2(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows5, err := Table5(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows6, err := Table6(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outcome{rows2, rows5, rows6}
+	}
+	serial := run(1)
+	parallel := run(4)
+	if !reflect.DeepEqual(serial.rows2, parallel.rows2) {
+		t.Errorf("Table 2 diverges:\nserial   %+v\nparallel %+v", serial.rows2, parallel.rows2)
+	}
+	if !reflect.DeepEqual(serial.rows5, parallel.rows5) {
+		t.Errorf("Table 5 diverges:\nserial   %+v\nparallel %+v", serial.rows5, parallel.rows5)
+	}
+	if !reflect.DeepEqual(serial.rows6, parallel.rows6) {
+		t.Errorf("Table 6 diverges:\nserial   %+v\nparallel %+v", serial.rows6, parallel.rows6)
+	}
+}
+
+// TestSuiteWorkerSplit pins the pool/inner split policy.
+func TestSuiteWorkerSplit(t *testing.T) {
+	cfg := Config{Workers: 4}
+	multi := NewSuite(cfg, []Named{{Name: "a"}, {Name: "b"}})
+	if multi.pool != 4 || multi.inner != 1 {
+		t.Fatalf("multi-item split = pool %d inner %d, want 4/1", multi.pool, multi.inner)
+	}
+	single := NewSuite(cfg, []Named{{Name: "a"}})
+	if single.pool != 4 || single.inner != 4 {
+		t.Fatalf("single-item split = pool %d inner %d, want 4/4", single.pool, single.inner)
+	}
+	serial := NewSuite(Config{Workers: 1}, []Named{{Name: "a"}, {Name: "b"}})
+	if serial.pool != 1 || serial.inner != 1 {
+		t.Fatalf("serial split = pool %d inner %d, want 1/1", serial.pool, serial.inner)
+	}
+}

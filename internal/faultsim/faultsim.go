@@ -12,7 +12,13 @@ import (
 	"compsynth/internal/circuit"
 	"compsynth/internal/faults"
 	"compsynth/internal/obs"
+	"compsynth/internal/par"
 )
+
+// blockGrain is the minimum number of undetected faults in a block worth
+// fanning out over workers; smaller blocks run inline on the calling
+// goroutine.
+const blockGrain = 128
 
 // Simulation metrics (batched adds: one per 64-pattern block).
 var (
@@ -82,6 +88,20 @@ func (s *Simulator) RunGood() {
 
 // GoodWord returns the fault-free word of a node.
 func (s *Simulator) GoodWord(id int) uint64 { return s.good[id] }
+
+// Fork returns a simulator for concurrent DetectWord calls on the same
+// block: circuit structure, topological order and the good-value words are
+// shared read-only with s, while the fault-propagation scratch state (cur,
+// dirty, queue) is private. Forks must not call SetInputs or RunGood — load
+// each block through the parent, then detect through the forks.
+func (s *Simulator) Fork() *Simulator {
+	return &Simulator{
+		c: s.c, topo: s.topo, pos: s.pos, good: s.good, poMask: s.poMask,
+		cur:     make([]uint64, len(s.c.Nodes)),
+		dirty:   make([]bool, len(s.c.Nodes)),
+		inQueue: make([]bool, len(s.c.Nodes)),
+	}
+}
 
 // DetectWord simulates fault f against the current block and returns the
 // 64-bit word of patterns that detect it (difference observed at any PO).
@@ -203,6 +223,14 @@ type CampaignOptions struct {
 	Patterns int   // random patterns to apply (rounded up to blocks of 64)
 	Seed     int64 // pattern generator seed
 
+	// Workers bounds the goroutines detecting faults within each pattern
+	// block (0 = runtime.GOMAXPROCS(0), 1 = serial). The undetected-fault
+	// list is partitioned across workers, each propagating through its own
+	// forked simulator over the shared good values; detection words land in
+	// a fault-indexed slice and are merged serially, so the result is
+	// bit-identical for every worker count.
+	Workers int
+
 	// Tracer, when non-nil, wraps the campaign in a span.
 	Tracer *obs.Tracer
 }
@@ -221,10 +249,17 @@ func Campaign(c *circuit.Circuit, fl []faults.Fault, opt CampaignOptions) Campai
 	defer sp.End()
 	sp.SetInt("faults", int64(len(fl)))
 	s := New(c)
+	w := par.Workers(opt.Workers)
+	sp.SetInt("workers", int64(w))
+	sims := []*Simulator{s}
+	for len(sims) < w {
+		sims = append(sims, s.Fork())
+	}
 	rng := rand.New(rand.NewSource(opt.Seed))
 	remaining := append([]faults.Fault(nil), fl...)
 	res := CampaignResult{TotalFaults: len(fl)}
 	words := make([]uint64, len(c.Inputs))
+	detect := make([]uint64, len(remaining))
 	blocks := (opt.Patterns + 63) / 64
 	for b := 0; b < blocks && len(remaining) > 0; b++ {
 		for j := range words {
@@ -234,9 +269,25 @@ func Campaign(c *circuit.Circuit, fl []faults.Fault, opt CampaignOptions) Campai
 		s.RunGood()
 		mPatterns.Add(64)
 		mFaultEval.Add(int64(len(remaining)))
+		// Detect in parallel into the fault-indexed slice (DetectWord is a
+		// pure function of the fault and the shared good block), then merge
+		// serially in fault order: Detected, Remaining and LastEffective
+		// come out exactly as in the serial loop. Campaign tails with few
+		// undetected faults run inline — the goroutine spawn would cost
+		// more than the block; the threshold only reschedules work, it
+		// cannot change results. The nil tracer keeps the per-block
+		// fan-out from flooding the span buffer.
+		rem := remaining
+		bw := w
+		if len(rem) < blockGrain {
+			bw = 1
+		}
+		par.Run(nil, "faultsim.block", bw, len(rem), func(worker, i int) {
+			detect[i] = sims[worker].DetectWord(rem[i])
+		})
 		kept := remaining[:0]
-		for _, f := range remaining {
-			d := s.DetectWord(f)
+		for i, f := range remaining {
+			d := detect[i]
 			if d == 0 {
 				kept = append(kept, f)
 				continue

@@ -1,0 +1,71 @@
+package faultsim
+
+import (
+	"testing"
+
+	"compsynth/internal/bench"
+	"compsynth/internal/circuit"
+	"compsynth/internal/faults"
+	"compsynth/internal/gen"
+)
+
+func campaignWith(t *testing.T, c *circuit.Circuit, fl []faults.Fault, workers int) CampaignResult {
+	t.Helper()
+	return Campaign(c, fl, CampaignOptions{Patterns: 512, Seed: 42, Workers: workers})
+}
+
+// TestParallelCampaignMatchesSerial is the determinism contract: the
+// campaign with 8 workers reports the same detections, the same surviving
+// faults in the same order, and the same last-effective pattern as the
+// serial campaign.
+func TestParallelCampaignMatchesSerial(t *testing.T) {
+	c17, err := bench.ParseString(bench.C17, "c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	circuits := []*circuit.Circuit{c17}
+	for _, b := range gen.SmallSuite() {
+		circuits = append(circuits, b.Build())
+	}
+	for _, c := range circuits {
+		fl := faults.Collapse(c)
+		serial := campaignWith(t, c, fl, 1)
+		parallel := campaignWith(t, c, fl, 8)
+		if serial.Detected != parallel.Detected ||
+			serial.LastEffective != parallel.LastEffective ||
+			serial.Patterns != parallel.Patterns {
+			t.Errorf("%s: stats diverge: serial %+v parallel %+v", c.Name, serial, parallel)
+		}
+		if len(serial.Remaining) != len(parallel.Remaining) {
+			t.Fatalf("%s: %d vs %d remaining", c.Name, len(serial.Remaining), len(parallel.Remaining))
+		}
+		for i := range serial.Remaining {
+			if serial.Remaining[i] != parallel.Remaining[i] {
+				t.Fatalf("%s: remaining[%d] differs: %v vs %v",
+					c.Name, i, serial.Remaining[i], parallel.Remaining[i])
+			}
+		}
+	}
+}
+
+// TestForkSharesGoodValues checks a fork sees the parent's loaded block and
+// detects exactly what the parent does.
+func TestForkSharesGoodValues(t *testing.T) {
+	c, err := bench.ParseString(bench.C17, "c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(c)
+	words := make([]uint64, len(c.Inputs))
+	for j := range words {
+		words[j] = 0xdeadbeefcafe0000 + uint64(j)
+	}
+	s.SetInputs(words)
+	s.RunGood()
+	fork := s.Fork()
+	for _, f := range faults.Collapse(c) {
+		if got, want := fork.DetectWord(f), s.DetectWord(f); got != want {
+			t.Fatalf("fault %v: fork %x, parent %x", f, got, want)
+		}
+	}
+}

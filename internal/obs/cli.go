@@ -5,31 +5,41 @@ import (
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
+	"runtime"
 	"time"
 
 	"compsynth/internal/circuit"
 )
 
-// Flags holds the observability flags shared by every command:
+// Flags holds the runtime flags shared by every command:
 //
 //	-trace              record and print a span tree for the run
 //	-metrics-out FILE   write the JSON run report to FILE
 //	-v                  verbose progress on stderr
 //	-pprof ADDR         serve net/http/pprof on ADDR (e.g. localhost:6060)
+//	-workers N          worker goroutines for the parallel phases
 type Flags struct {
 	Trace      bool
 	Verbose    bool
 	MetricsOut string
 	PprofAddr  string
+
+	// Workers is the shared worker-count option threaded into every
+	// parallel engine (resynthesis, fault simulation, the experiment
+	// driver). Results are bit-identical for every value; 1 disables all
+	// fan-out. The default, GOMAXPROCS, uses all available CPUs.
+	Workers int
 }
 
-// AddFlags registers the shared observability flags on fs.
+// AddFlags registers the shared flags on fs.
 func AddFlags(fs *flag.FlagSet) *Flags {
 	f := &Flags{}
 	fs.BoolVar(&f.Trace, "trace", false, "record per-phase spans and print the span tree on exit")
 	fs.BoolVar(&f.Verbose, "v", false, "verbose progress output on stderr")
 	fs.StringVar(&f.MetricsOut, "metrics-out", "", "write a JSON run report to this file")
 	fs.StringVar(&f.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	fs.IntVar(&f.Workers, "workers", runtime.GOMAXPROCS(0),
+		"worker goroutines for parallel phases (results are identical for any value; 1 = serial)")
 	return f
 }
 

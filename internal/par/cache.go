@@ -1,0 +1,65 @@
+package par
+
+import (
+	"hash/maphash"
+	"sync"
+)
+
+const cacheShards = 32
+
+// Cache is a sharded, concurrency-safe string-keyed memoization map. It is
+// intended for caching pure functions: concurrent writers racing on the
+// same key must be storing equal values, and whichever lands is kept. That
+// keeps lookups deterministic without cross-shard coordination.
+type Cache[V any] struct {
+	shards [cacheShards]struct {
+		mu sync.RWMutex
+		m  map[string]V
+	}
+}
+
+var cacheHashSeed = maphash.MakeSeed()
+
+// NewCache returns an empty cache.
+func NewCache[V any]() *Cache[V] {
+	c := &Cache[V]{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]V)
+	}
+	return c
+}
+
+func (c *Cache[V]) shard(key string) *struct {
+	mu sync.RWMutex
+	m  map[string]V
+} {
+	return &c.shards[maphash.String(cacheHashSeed, key)%cacheShards]
+}
+
+// Get returns the cached value for key.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	s := c.shard(key)
+	s.mu.RLock()
+	v, ok := s.m[key]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+// Set stores v under key.
+func (c *Cache[V]) Set(key string, v V) {
+	s := c.shard(key)
+	s.mu.Lock()
+	s.m[key] = v
+	s.mu.Unlock()
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.RLock()
+		n += len(c.shards[i].m)
+		c.shards[i].mu.RUnlock()
+	}
+	return n
+}

@@ -4,6 +4,17 @@
 // of Section 4.3. Each procedure repeatedly sweeps the circuit from the
 // primary outputs toward the inputs, replacing subcircuits that implement
 // comparison functions by comparison units, until a fixpoint.
+//
+// Parallelism: with Options.Workers != 1 each pass runs a concurrent
+// prefetch phase that evaluates every candidate subcircuit of the pass
+// snapshot — truth-table extraction and comparison-function identification,
+// the dominant cost — across worker goroutines, filling sharded
+// memoization caches keyed purely by the candidate's function. The sweep
+// that selects and applies replacements then runs serially in topological
+// order exactly as in the serial algorithm, so the optimized circuit is
+// bit-identical for every worker count. Sampling-mode identification seeds
+// its RNG per truth table (derived from Options.Seed), never from a shared
+// stream, so it too is independent of visit order and worker count.
 package resynth
 
 import (
@@ -15,6 +26,7 @@ import (
 	"compsynth/internal/compare"
 	"compsynth/internal/logic"
 	"compsynth/internal/obs"
+	"compsynth/internal/par"
 	"compsynth/internal/paths"
 	"compsynth/internal/simulate"
 	"compsynth/internal/subckt"
@@ -26,6 +38,7 @@ var (
 	mReplacements = obs.C("resynth.replacements_accepted")
 	mPasses       = obs.C("resynth.passes")
 	mCacheHits    = obs.C("resynth.identify_cache_hits")
+	mExtractHits  = obs.C("resynth.extract_cache_hits")
 	hCandInputs   = obs.H("resynth.candidate_inputs")
 )
 
@@ -60,6 +73,11 @@ type Options struct {
 	MaxPasses     int       // fixpoint iteration cap
 	Verify        bool      // check equivalence after every pass
 	Merge         bool      // merge same-type chain gates (Figure 4)
+
+	// Workers bounds the goroutines used by the per-pass candidate
+	// prefetch. 0 selects runtime.GOMAXPROCS(0); 1 disables the prefetch
+	// and runs fully serial. The result is bit-identical either way.
+	Workers int
 
 	// UseSampling switches identification to the paper's experimental
 	// method: up to SamplingPerms random permutations, onset and offset.
@@ -162,10 +180,13 @@ func Optimize(c *circuit.Circuit, opt Options) (*Result, error) {
 	}
 	o := &optimizer{
 		opt:        opt,
-		cache:      map[string]cachedSpec{},
-		multiCache: map[string]cachedMulti{},
-		rng:        rand.New(rand.NewSource(opt.Seed)),
+		workers:    par.Workers(opt.Workers),
+		cache:      par.NewCache[cachedSpec](),
+		multiCache: par.NewCache[cachedMulti](),
+		dcCache:    par.NewCache[cachedSpec](),
+		allCache:   par.NewCache[[]compare.Spec](),
 	}
+	sp.SetInt("workers", int64(o.workers))
 	for pass := 0; pass < opt.MaxPasses; pass++ {
 		psp := opt.Tracer.StartSpan("resynth.pass")
 		psp.SetInt("pass", int64(pass))
@@ -208,16 +229,39 @@ type cachedMulti struct {
 	ok   bool
 }
 
+// optimizer carries the per-run state. The identification caches persist
+// across passes (they are keyed by the candidate's function, which is
+// circuit-independent); the extraction cache is rebuilt per pass because
+// its keys are node IDs of the current snapshot. All caches are sharded
+// and safe for the concurrent prefetch; every cached value is a pure
+// function of its key, so racing fills store equal values.
 type optimizer struct {
 	opt        Options
-	cache      map[string]cachedSpec
-	multiCache map[string]cachedMulti
-	rng        *rand.Rand
+	workers    int
+	cache      *par.Cache[cachedSpec]
+	multiCache *par.Cache[cachedMulti]
+	dcCache    *par.Cache[cachedSpec]
+	allCache   *par.Cache[[]compare.Spec]
+	extracts   *par.Cache[logic.TT]
 	db         *subckt.CutDB
 
 	// SDC state, rebuilt per pass when enabled.
 	valbits   map[int][]uint64 // node -> value over all 2^nPI patterns
-	careCache map[string]logic.TT
+	careCache *par.Cache[logic.TT]
+}
+
+// rngFor derives the RNG for one sampling-style identification call.
+// Seeding from (Options.Seed, truth-table key) makes the draw a pure
+// function of the function being identified — independent of gate visit
+// order, of the interleaving of other identifications, and of which worker
+// performs it — which is what keeps sampling mode deterministic under the
+// concurrent prefetch (and fixes the historical shared-RNG coupling).
+func (o *optimizer) rngFor(key string) *rand.Rand {
+	return rand.New(rand.NewSource(par.SeedFor(o.opt.Seed, key)))
+}
+
+func ttKey(tt logic.TT) string {
+	return fmt.Sprintf("%d:%x", tt.Vars(), tt.Words())
 }
 
 // pass performs one output-to-input sweep and returns the replacement count.
@@ -225,6 +269,7 @@ func (o *optimizer) pass(c *circuit.Circuit) int {
 	csp := o.opt.Tracer.StartSpan("resynth.cuts")
 	o.db = subckt.ComputeCuts(c, o.opt.K, o.opt.MaxCandidates)
 	csp.End()
+	o.extracts = par.NewCache[logic.TT]() // node IDs are only stable within one pass
 	if o.opt.UseSDC {
 		ssp := o.opt.Tracer.StartSpan("resynth.sdc")
 		o.prepareSDC(c)
@@ -234,6 +279,9 @@ func (o *optimizer) pass(c *circuit.Circuit) int {
 	}
 	np, npOK := paths.Labels(c)
 	topo := c.Topo()
+	if o.workers > 1 {
+		o.prefetch(c, topo)
+	}
 	marked := make(map[int]bool)
 	for _, out := range c.Outputs {
 		marked[out] = true
@@ -263,6 +311,61 @@ func (o *optimizer) pass(c *circuit.Circuit) int {
 		}
 	}
 	return replaced
+}
+
+// prefetch warms the extraction and identification caches for every gate of
+// the pass snapshot, in parallel. Every cached value is a pure function of
+// its key, so warming cannot change what the serial sweep below decides: a
+// candidate whose function only arises after a mid-sweep mutation simply
+// misses the cache and is computed inline. The prefetch reads the circuit
+// but never mutates it (structural caches — topo, fanouts — were built by
+// ComputeCuts above).
+func (o *optimizer) prefetch(c *circuit.Circuit, topo []int) {
+	ids := make([]int, 0, len(topo))
+	for i := len(topo) - 1; i >= 0; i-- {
+		g := topo[i]
+		t := c.Nodes[g].Type
+		if t == circuit.Input || t == circuit.Const0 || t == circuit.Const1 {
+			continue
+		}
+		ids = append(ids, g)
+	}
+	par.Run(o.opt.Tracer, "resynth.prefetch", o.workers, len(ids), func(_, i int) {
+		o.prefetchGate(c, ids[i])
+	})
+}
+
+// prefetchGate mirrors the identification cascade of selectReplacement for
+// one gate, computing (and caching) everything expensive while skipping the
+// cost accounting that stays serial.
+func (o *optimizer) prefetchGate(c *circuit.Circuit, g int) {
+	for _, sub := range o.db.EnumerateFromCuts(c, g) {
+		tt := o.extractTT(c, sub)
+		stt, kept := tt.Shrink()
+		if stt.Vars() == 0 {
+			continue
+		}
+		_, ok := o.identify(stt)
+		if !ok && o.valbits != nil {
+			keep := make([]int, len(kept))
+			for j, v := range kept {
+				keep[j] = sub.Inputs[v-1]
+			}
+			care := o.careSet(keep)
+			if !care.IsConst(true) {
+				_, ok = o.identifyDC(stt, care)
+			}
+		}
+		if !ok && o.opt.MaxUnits > 1 {
+			_, ok = o.identifyMulti(stt)
+		}
+		if !ok {
+			continue
+		}
+		if o.opt.MaxSpecs > 1 && !o.opt.UseSampling {
+			o.identifyAll(stt)
+		}
+	}
 }
 
 // candidate pairs a subcircuit with its chosen unit realization and costs.
@@ -301,7 +404,7 @@ func (o *optimizer) selectReplacement(c *circuit.Circuit, g int, np []uint64, np
 	for _, sub := range subs {
 		mCandidates.Inc()
 		hCandInputs.Observe(float64(len(sub.Inputs)))
-		tt := sub.Extract(c)
+		tt := o.extractTT(c, sub)
 		// Drop inputs the function does not depend on: they contribute no
 		// logic and their paths disappear entirely.
 		stt, kept := tt.Shrink()
@@ -319,7 +422,7 @@ func (o *optimizer) selectReplacement(c *circuit.Circuit, g int, np []uint64, np
 			}
 			care := o.careSet(keep)
 			if !care.IsConst(true) {
-				single, ok = compare.IdentifyDC(stt, care)
+				single, ok = o.identifyDC(stt, care)
 				spec = single
 			}
 		}
@@ -346,7 +449,7 @@ func (o *optimizer) selectReplacement(c *circuit.Circuit, g int, np []uint64, np
 		}
 		// Try alternative realizations when available.
 		if o.opt.MaxSpecs > 1 && !o.opt.UseSampling {
-			for _, alt := range compare.IdentifyAll(stt, o.opt.MaxSpecs) {
+			for _, alt := range o.identifyAll(stt) {
 				ac := *cand
 				ac.spec = alt
 				ac.gateSave = sub.GateSavings(c) - alt.GateCost()
@@ -383,6 +486,20 @@ func (o *optimizer) selectReplacement(c *circuit.Circuit, g int, np []uint64, np
 	return nil
 }
 
+// extractTT memoizes Subcircuit.Extract per pass: cuts repeat across the
+// fanout of shared logic, and the prefetch phase plus the serial sweep
+// visit every repeated cut at least twice.
+func (o *optimizer) extractTT(c *circuit.Circuit, sub *subckt.Subcircuit) logic.TT {
+	key := sub.Key()
+	if tt, ok := o.extracts.Get(key); ok {
+		mExtractHits.Inc()
+		return tt
+	}
+	tt := sub.Extract(c)
+	o.extracts.Set(key, tt)
+	return tt
+}
+
 // prepareSDC precomputes every node's value over the full primary-input
 // space (64 patterns per word) when the SDC mode is engaged.
 func (o *optimizer) prepareSDC(c *circuit.Circuit) {
@@ -399,7 +516,7 @@ func (o *optimizer) prepareSDC(c *circuit.Circuit) {
 	total := 1 << nPI
 	words := (total + 63) / 64
 	o.valbits = make(map[int][]uint64, c.NumLive())
-	o.careCache = map[string]logic.TT{}
+	o.careCache = par.NewCache[logic.TT]()
 	sim := simulate.New(c)
 	for w := 0; w < words; w++ {
 		for j := 0; j < nPI; j++ {
@@ -429,7 +546,7 @@ func (o *optimizer) careSet(inputs []int) logic.TT {
 	for _, id := range inputs {
 		key += fmt.Sprintf("%d,", id)
 	}
-	if tt, ok := o.careCache[key]; ok {
+	if tt, ok := o.careCache.Get(key); ok {
 		return tt
 	}
 	n := len(inputs)
@@ -448,40 +565,66 @@ func (o *optimizer) careSet(inputs []int) logic.TT {
 		}
 		care.Set(idx, true)
 	}
-	o.careCache[key] = care
+	o.careCache.Set(key, care)
 	return care
 }
 
 // identifyMulti finds a multi-unit realization (Section 6 extension), with
 // memoization.
 func (o *optimizer) identifyMulti(tt logic.TT) (compare.MultiSpec, bool) {
-	key := fmt.Sprintf("%d:%x", tt.Vars(), tt.Words())
-	if r, ok := o.multiCache[key]; ok {
+	key := ttKey(tt)
+	if r, ok := o.multiCache.Get(key); ok {
 		mCacheHits.Inc()
 		return r.spec, r.ok
 	}
-	spec, ok := compare.IdentifyMulti(tt, o.opt.MaxUnits, o.opt.MultiPerms, o.rng)
-	o.multiCache[key] = cachedMulti{spec, ok}
+	spec, ok := compare.IdentifyMulti(tt, o.opt.MaxUnits, o.opt.MultiPerms, o.rngFor(key))
+	o.multiCache.Set(key, cachedMulti{spec, ok})
 	return spec, ok
 }
 
 // identify finds a unit realization for tt, via the exact search or the
 // paper's sampling method, with memoization.
 func (o *optimizer) identify(tt logic.TT) (compare.Spec, bool) {
-	key := fmt.Sprintf("%d:%x", tt.Vars(), tt.Words())
-	if r, ok := o.cache[key]; ok {
+	key := ttKey(tt)
+	if r, ok := o.cache.Get(key); ok {
 		mCacheHits.Inc()
 		return r.spec, r.ok
 	}
 	var spec compare.Spec
 	var ok bool
 	if o.opt.UseSampling {
-		spec, ok = compare.IdentifySampling(tt, o.opt.SamplingPerms, o.rng)
+		spec, ok = compare.IdentifySampling(tt, o.opt.SamplingPerms, o.rngFor(key))
 	} else {
 		spec, ok = compare.IdentifyBest(tt)
 	}
-	o.cache[key] = cachedSpec{spec, ok}
+	o.cache.Set(key, cachedSpec{spec, ok})
 	return spec, ok
+}
+
+// identifyDC finds a unit realization of tt under the care set, with
+// memoization (the search is exact, so the cache is pure).
+func (o *optimizer) identifyDC(tt, care logic.TT) (compare.Spec, bool) {
+	key := ttKey(tt) + "|" + ttKey(care)
+	if r, ok := o.dcCache.Get(key); ok {
+		mCacheHits.Inc()
+		return r.spec, r.ok
+	}
+	spec, ok := compare.IdentifyDC(tt, care)
+	o.dcCache.Set(key, cachedSpec{spec, ok})
+	return spec, ok
+}
+
+// identifyAll memoizes the alternative-realization enumeration (MaxSpecs is
+// constant for the run, so the truth table alone keys it).
+func (o *optimizer) identifyAll(tt logic.TT) []compare.Spec {
+	key := ttKey(tt)
+	if specs, ok := o.allCache.Get(key); ok {
+		mCacheHits.Inc()
+		return specs
+	}
+	specs := compare.IdentifyAll(tt, o.opt.MaxSpecs)
+	o.allCache.Set(key, specs)
+	return specs
 }
 
 // apply builds the unit, rewires g's consumers to it and sweeps dead logic.

@@ -48,7 +48,7 @@ func Enumerate(c *circuit.Circuit, g int, opt Options) []*Subcircuit {
 		return nil
 	}
 	out := []*Subcircuit{first}
-	seen := map[string]bool{first.key(): true}
+	seen := map[string]bool{first.Key(): true}
 	for i := 0; i < len(out); i++ {
 		if opt.MaxCandidates > 0 && len(out) >= opt.MaxCandidates {
 			break
@@ -68,7 +68,7 @@ func Enumerate(c *circuit.Circuit, g int, opt Options) []*Subcircuit {
 			if len(cand.Inputs) > opt.MaxInputs || len(cand.Inputs) == 0 {
 				continue
 			}
-			k := cand.key()
+			k := cand.Key()
 			if seen[k] {
 				continue
 			}
@@ -108,7 +108,13 @@ func newSub(c *circuit.Circuit, g int, gates map[int]bool) *Subcircuit {
 	return &Subcircuit{Out: g, Gates: gates, Inputs: inputs}
 }
 
-func (s *Subcircuit) key() string {
+// Key returns a canonical identity for the subcircuit within one circuit
+// snapshot: the sorted gate IDs, packed. Two candidates with equal keys
+// implement the same function as long as no gate in the set changed type or
+// fanin, which holds for the duration of one optimizer pass (replacements
+// only add nodes and rewire consumers of already-visited outputs), so Key
+// doubles as the truth-table memoization key for Extract.
+func (s *Subcircuit) Key() string {
 	ids := make([]int, 0, len(s.Gates))
 	for id := range s.Gates {
 		ids = append(ids, id)

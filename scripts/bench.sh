@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Parallel-scaling benchmark sweep: runs the table, fault-simulation and
+# resynthesis benchmarks at -cpu 1 and 4 (serial vs 4-worker fan-out of the
+# bit-identical workload) and records the results as BENCH_<date>.json in
+# the repository root.
+#
+# Usage: scripts/bench.sh [bench-regex] [cpus]
+#   bench-regex  benchmarks to run (default: the parallel-scaling set)
+#   cpus         -cpu list (default: 1,4)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+pattern="${1:-Table2Parallel|FaultSimParallel|ResynthParallel|Table2Procedure2|FaultSimulation}"
+cpus="${2:-1,4}"
+out="BENCH_$(date +%F).json"
+
+echo "== go test -bench ($pattern) -cpu $cpus =="
+raw=$(go test -run '^$' -bench "$pattern" -benchtime 2x -cpu "$cpus" -timeout 30m .)
+echo "$raw"
+
+echo "$raw" | go run ./scripts/benchjson > "$out"
+echo "wrote $out"

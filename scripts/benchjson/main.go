@@ -1,0 +1,96 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// record suitable for committing as a performance baseline (BENCH_<date>.json,
+// written by scripts/bench.sh). For benchmarks run under -cpu 1,N it also
+// derives the parallel speedup (serial ns/op divided by N-proc ns/op).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"time"
+)
+
+// benchLine matches e.g. "BenchmarkFaultSimParallel-4  12  9876543 ns/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([\d.]+) ns/op`)
+
+type result struct {
+	Name       string  `json:"name"`
+	CPU        int     `json:"cpu"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+}
+
+type speedup struct {
+	Name    string  `json:"name"`
+	CPU     int     `json:"cpu"`
+	Speedup float64 `json:"speedup"` // serial ns/op over this run's ns/op
+}
+
+type report struct {
+	Date       string    `json:"date"`
+	GoVersion  string    `json:"go_version"`
+	GOOS       string    `json:"goos"`
+	GOARCH     string    `json:"goarch"`
+	NumCPU     int       `json:"num_cpu"`
+	Benchmarks []result  `json:"benchmarks"`
+	Speedups   []speedup `json:"speedups,omitempty"`
+}
+
+func main() {
+	rep := report{
+		Date:      time.Now().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		cpu := 1
+		if m[2] != "" {
+			cpu, _ = strconv.Atoi(m[2])
+		}
+		iters, _ := strconv.ParseInt(m[3], 10, 64)
+		ns, _ := strconv.ParseFloat(m[4], 64)
+		rep.Benchmarks = append(rep.Benchmarks, result{
+			Name: m[1], CPU: cpu, Iterations: iters, NsPerOp: ns,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+
+	serial := map[string]float64{}
+	for _, r := range rep.Benchmarks {
+		if r.CPU == 1 {
+			serial[r.Name] = r.NsPerOp
+		}
+	}
+	for _, r := range rep.Benchmarks {
+		base, ok := serial[r.Name]
+		if !ok || r.CPU == 1 || r.NsPerOp == 0 {
+			continue
+		}
+		rep.Speedups = append(rep.Speedups, speedup{
+			Name: r.Name, CPU: r.CPU, Speedup: base / r.NsPerOp,
+		})
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -22,4 +22,10 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== bench smoke =="
+# One iteration of every benchmark, no measurement: catches benches that no
+# longer compile or fail at runtime without paying for a real sweep (full
+# sweeps are scripts/bench.sh).
+go test -bench . -benchtime 1x -run '^$' ./...
+
 echo "ci: all checks passed"
