@@ -5,7 +5,8 @@
 // Usage:
 //
 //	atpg [-backtracks n] [-filter n] [-tests]
-//	     [-trace] [-metrics-out report.json] [-v] [-pprof addr] circuit.bench
+//	     [-trace] [-metrics-out report.json] [-v] [-listen addr]
+//	     [-events file] circuit.bench
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"compsynth/internal/faults"
 	"compsynth/internal/faultsim"
 	"compsynth/internal/obs"
+	_ "compsynth/internal/obs/telemetry" // wires the -listen telemetry server
 )
 
 func main() {
@@ -34,8 +36,7 @@ func main() {
 	lg := run.Log
 	c, err := compsynth.LoadBench(flag.Arg(0))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "atpg: %v\n", err)
-		os.Exit(1)
+		os.Exit(run.Fail(err))
 	}
 	run.CircuitBefore(c)
 	fl := faults.Collapse(c)

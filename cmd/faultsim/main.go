@@ -4,7 +4,8 @@
 // Usage:
 //
 //	faultsim [-patterns n] [-seed n] [-list-remaining] [-workers n]
-//	         [-trace] [-metrics-out report.json] [-v] [-pprof addr] circuit.bench
+//	         [-trace] [-metrics-out report.json] [-v] [-listen addr]
+//	         [-events file] circuit.bench
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"compsynth/internal/faults"
 	"compsynth/internal/faultsim"
 	"compsynth/internal/obs"
+	_ "compsynth/internal/obs/telemetry" // wires the -listen telemetry server
 )
 
 func main() {
@@ -32,8 +34,7 @@ func main() {
 	lg := run.Log
 	c, err := compsynth.LoadBench(flag.Arg(0))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "faultsim: %v\n", err)
-		os.Exit(1)
+		os.Exit(run.Fail(err))
 	}
 	run.CircuitBefore(c)
 	fl := faults.Collapse(c)

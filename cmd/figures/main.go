@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	figures [-trace] [-metrics-out report.json] [-v] [-pprof addr]
+//	figures [-trace] [-metrics-out report.json] [-v] [-listen addr] [-events file]
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 	"compsynth/internal/compare"
 	"compsynth/internal/delay"
 	"compsynth/internal/obs"
+	_ "compsynth/internal/obs/telemetry" // wires the -listen telemetry server
 	"compsynth/internal/paths"
 )
 

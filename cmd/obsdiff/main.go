@@ -1,0 +1,74 @@
+// Command obsdiff compares two observability artifacts — JSON run reports
+// (-metrics-out) or bench baselines (BENCH_*.json) — and exits non-zero
+// when any quantity regressed beyond tolerance. CI runs it against the
+// committed baselines; see EXPERIMENTS.md for the recipe.
+//
+// Usage:
+//
+//	obsdiff [-tol f] [-tol-time f] [-tol-bench f] [-metric name=f]...
+//	        [-all] [-json] BEFORE AFTER
+//
+// Tolerances are relative fractions (0.1 = 10%). Exit status: 0 when every
+// delta is within tolerance, 1 on regression, 2 on usage or load errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"compsynth/internal/obsdiff"
+)
+
+func main() {
+	opt := obsdiff.DefaultOptions()
+	opt.PerMetric = map[string]float64{}
+	flag.Float64Var(&opt.Tol, "tol", opt.Tol,
+		"relative tolerance for deterministic quantities (counters, circuit stats)")
+	flag.Float64Var(&opt.TolTime, "tol-time", opt.TolTime,
+		"relative tolerance for wall-clock quantities (durations, span timings)")
+	flag.Float64Var(&opt.TolBench, "tol-bench", opt.TolBench,
+		"relative tolerance for benchmark ns/op and speedups")
+	flag.Func("metric", "per-quantity tolerance override, name=fraction (repeatable)", func(s string) error {
+		name, frac, ok := strings.Cut(s, "=")
+		if !ok {
+			return fmt.Errorf("want name=fraction, got %q", s)
+		}
+		f, err := strconv.ParseFloat(frac, 64)
+		if err != nil {
+			return err
+		}
+		opt.PerMetric[name] = f
+		return nil
+	})
+	all := flag.Bool("all", false, "print every delta, not only regressions")
+	asJSON := flag.Bool("json", false, "emit the full diff as JSON")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: obsdiff [flags] BEFORE AFTER")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	res, err := obsdiff.DiffFiles(flag.Arg(0), flag.Arg(1), opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obsdiff: %v\n", err)
+		os.Exit(2)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintf(os.Stderr, "obsdiff: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		res.Format(os.Stdout, *all)
+	}
+	if len(res.Regressions()) > 0 {
+		os.Exit(1)
+	}
+}

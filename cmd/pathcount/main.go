@@ -4,7 +4,8 @@
 // Usage:
 //
 //	pathcount [-per-output] [-through line]
-//	          [-trace] [-metrics-out report.json] [-v] [-pprof addr] circuit.bench
+//	          [-trace] [-metrics-out report.json] [-v] [-listen addr]
+//	          [-events file] circuit.bench
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 
 	"compsynth"
 	"compsynth/internal/obs"
+	_ "compsynth/internal/obs/telemetry" // wires the -listen telemetry server
 	"compsynth/internal/paths"
 )
 
@@ -30,8 +32,7 @@ func main() {
 	lg := run.Log
 	c, err := compsynth.LoadBench(flag.Arg(0))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "pathcount: %v\n", err)
-		os.Exit(1)
+		os.Exit(run.Fail(err))
 	}
 	run.CircuitBefore(c)
 	sp := run.Tracer.StartSpan("pathcount.label")
@@ -48,8 +49,7 @@ func main() {
 	if *through != "" {
 		id := c.NodeByName(*through)
 		if id < 0 {
-			fmt.Fprintf(os.Stderr, "pathcount: no line named %q\n", *through)
-			os.Exit(1)
+			os.Exit(run.Fail(fmt.Errorf("no line named %q", *through)))
 		}
 		n := paths.Through(c, id)
 		lg.Printf("  through %s: %d", *through, n)

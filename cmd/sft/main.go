@@ -6,7 +6,7 @@
 //
 //	sft -in circuit.bench [-out out.bench] [-objective gates|paths|combined]
 //	    [-k 5] [-sampling] [-redundancy] [-report] [-workers n]
-//	    [-trace] [-metrics-out report.json] [-v] [-pprof addr]
+//	    [-trace] [-metrics-out report.json] [-v] [-listen addr] [-events file]
 package main
 
 import (
@@ -19,6 +19,7 @@ import (
 	"compsynth/internal/faults"
 	"compsynth/internal/faultsim"
 	"compsynth/internal/obs"
+	_ "compsynth/internal/obs/telemetry" // wires the -listen telemetry server
 	"compsynth/internal/redundancy"
 	"compsynth/internal/resynth"
 )
@@ -60,10 +61,7 @@ func main() {
 
 	run := oflags.Start("sft")
 	if err := sft(run, *in, *out, obj, *k, *sampling, *redund, *maxUnits, *useSDC, *report, *seed, oflags.Workers); err != nil {
-		fmt.Fprintf(os.Stderr, "sft: %v\n", err)
-		run.Report.Error = err.Error()
-		run.Finish() // best-effort partial report; the run still fails
-		os.Exit(1)
+		os.Exit(run.Fail(err))
 	}
 	if err := run.Finish(); err != nil {
 		fmt.Fprintf(os.Stderr, "sft: %v\n", err)

@@ -5,7 +5,7 @@
 //
 //	tables [-table all|2|3|4|5|6|7] [-scale f] [-quick] [-seed n]
 //	       [-patterns n] [-pairs n] [-circuits a,b,c] [-noverify] [-workers n]
-//	       [-trace] [-metrics-out report.json] [-v] [-pprof addr]
+//	       [-trace] [-metrics-out report.json] [-v] [-listen addr] [-events file]
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 
 	"compsynth/internal/exper"
 	"compsynth/internal/obs"
+	_ "compsynth/internal/obs/telemetry" // wires the -listen telemetry server
 )
 
 func main() {
@@ -67,8 +68,7 @@ func main() {
 	items, err := exper.PrepareSuite(cfg)
 	psp.End()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tables: %v\n", err)
-		os.Exit(1)
+		os.Exit(orun.Fail(err))
 	}
 	suite := exper.NewSuite(cfg, items)
 	for _, nc := range items {
@@ -87,10 +87,7 @@ func main() {
 		out, err := f()
 		sp.End()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "tables: table %s: %v\n", name, err)
-			orun.Report.Error = err.Error()
-			orun.Finish()
-			os.Exit(1)
+			os.Exit(orun.Fail(fmt.Errorf("table %s: %v", name, err)))
 		}
 		fmt.Print(out)
 		orun.Report.AddResult("table"+name, out)

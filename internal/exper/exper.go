@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"compsynth/internal/circuit"
 	"compsynth/internal/delay"
@@ -21,6 +22,20 @@ import (
 	"compsynth/internal/resynth"
 	"compsynth/internal/techmap"
 )
+
+// Experiment-driver metrics (process-wide; atomic adds in the row loops).
+var (
+	mRows     = obs.C("exper.rows_completed")
+	mPrepared = obs.C("exper.circuits_prepared")
+)
+
+// rowDone records one finished table row: the cumulative counter feeds the
+// run report, the progress event feeds the flight recorder (nil-safe and
+// allocation-free when no recorder is installed).
+func rowDone() {
+	mRows.Inc()
+	obs.EmitProgress("exper.rows", mRows.Value(), 0)
+}
 
 // Config scales the experiments.
 type Config struct {
@@ -218,7 +233,13 @@ func PrepareSuite(cfg Config) ([]Named, error) {
 		}
 		benches = append(benches, b)
 	}
+	var done atomic.Int64
+	total := int64(len(benches))
 	return par.MapErr(par.Workers(cfg.Workers), len(benches), func(i int) (Named, error) {
+		defer func() {
+			mPrepared.Inc()
+			obs.EmitProgress("exper.prepare", done.Add(1), total)
+		}()
 		b := benches[i]
 		c := b.Build()
 		if cfg.MakeIrredundant {
@@ -305,6 +326,7 @@ type Table2Row struct {
 func Table2(s *Suite) ([]Table2Row, error) {
 	items := s.Items()
 	return par.MapErr(s.pool, len(items), func(i int) (Table2Row, error) {
+		defer rowDone()
 		nc := items[i]
 		res, k, err := s.Proc2(nc)
 		if err != nil {
@@ -352,6 +374,7 @@ func Table3(s *Suite) ([]Table3Row, error) {
 		}
 	}
 	return par.MapErr(s.pool, len(subset), func(i int) (Table3Row, error) {
+		defer rowDone()
 		nc := subset[i]
 		rres, err := s.Rambo(nc)
 		if err != nil {
@@ -394,6 +417,7 @@ func Table4(s *Suite) (partA, partB []Table4Row, err error) {
 	}
 	type pair struct{ a, b Table4Row }
 	rows, err := par.MapErr(s.pool, len(subset), func(i int) (pair, error) {
+		defer rowDone()
 		nc := subset[i]
 		p2, _, err := s.Proc2(nc)
 		if err != nil {
@@ -443,6 +467,7 @@ type Table5Row struct {
 func Table5(s *Suite) ([]Table5Row, error) {
 	items := s.Items()
 	return par.MapErr(s.pool, len(items), func(i int) (Table5Row, error) {
+		defer rowDone()
 		nc := items[i]
 		res, k, err := s.Proc3(nc)
 		if err != nil {
@@ -471,6 +496,7 @@ func Table6(s *Suite) ([]Table6Row, error) {
 	cfg := s.cfg
 	items := s.Items()
 	return par.MapErr(s.pool, len(items), func(i int) (Table6Row, error) {
+		defer rowDone()
 		nc := items[i]
 		rr, err := s.ModifiedRR(nc)
 		if err != nil {
@@ -533,6 +559,7 @@ func Table7(s *Suite) ([]Table7Row, error) {
 	// The two versions derive from distinct circuit objects (the original
 	// and the RAMBO result), so they run through the pool like table rows.
 	return par.MapErr(s.pool, len(versions), func(i int) (Table7Row, error) {
+		defer rowDone()
 		v := versions[i]
 		mod, _, err := runProc(v.c, resynth.MinGates, cfg, s.inner)
 		if err != nil {

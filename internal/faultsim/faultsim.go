@@ -25,6 +25,7 @@ var (
 	mPatterns  = obs.C("faultsim.patterns_simulated")
 	mFaultEval = obs.C("faultsim.fault_evals")
 	mDetected  = obs.C("faultsim.faults_detected")
+	gBlocks    = obs.G("faultsim.blocks_done")
 )
 
 // Simulator simulates one circuit.
@@ -299,6 +300,10 @@ func Campaign(c *circuit.Circuit, fl []faults.Fault, opt CampaignOptions) Campai
 			}
 		}
 		remaining = kept
+		// Per-block completion for the live gauge and the flight recorder
+		// (the recorder throttles; off path is one atomic store + load).
+		gBlocks.Set(int64(b + 1))
+		obs.EmitProgress("faultsim.blocks", int64(b+1), int64(blocks))
 	}
 	res.Remaining = append([]faults.Fault(nil), remaining...)
 	res.Patterns = blocks * 64

@@ -1,9 +1,9 @@
 package obs
 
 import (
+	"context"
 	"flag"
-	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"fmt"
 	"os"
 	"runtime"
 	"time"
@@ -16,13 +16,30 @@ import (
 //	-trace              record and print a span tree for the run
 //	-metrics-out FILE   write the JSON run report to FILE
 //	-v                  verbose progress on stderr
-//	-pprof ADDR         serve net/http/pprof on ADDR (e.g. localhost:6060)
+//	-listen ADDR        serve live telemetry (/metrics, /progress, /healthz,
+//	                    /debug/pprof) on ADDR
+//	-pprof ADDR         deprecated alias for -listen
+//	-events FILE        stream NDJSON run events (flight recorder) to FILE
+//	-heartbeat D        heartbeat snapshot interval for -events (0 disables)
 //	-workers N          worker goroutines for the parallel phases
 type Flags struct {
 	Trace      bool
 	Verbose    bool
 	MetricsOut string
 	PprofAddr  string
+
+	// Listen serves the live telemetry endpoints on this address. The
+	// server itself lives in the obs/telemetry subpackage (commands import
+	// it for side effects); -pprof is kept as a deprecated alias and serves
+	// the same mux.
+	Listen string
+
+	// Events streams NDJSON run events — span begin/end, throttled hot-loop
+	// progress, periodic heartbeats — to this file while the run is live.
+	Events string
+
+	// Heartbeat is the -events snapshot interval (0 disables heartbeats).
+	Heartbeat time.Duration
 
 	// Workers is the shared worker-count option threaded into every
 	// parallel engine (resynthesis, fault simulation, the experiment
@@ -37,36 +54,78 @@ func AddFlags(fs *flag.FlagSet) *Flags {
 	fs.BoolVar(&f.Trace, "trace", false, "record per-phase spans and print the span tree on exit")
 	fs.BoolVar(&f.Verbose, "v", false, "verbose progress output on stderr")
 	fs.StringVar(&f.MetricsOut, "metrics-out", "", "write a JSON run report to this file")
-	fs.StringVar(&f.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	fs.StringVar(&f.Listen, "listen", "", "serve live telemetry (/metrics, /progress, /healthz, /debug/pprof) on this address (e.g. localhost:6060)")
+	fs.StringVar(&f.PprofAddr, "pprof", "", "deprecated alias for -listen")
+	fs.StringVar(&f.Events, "events", "", "stream NDJSON run events (flight recorder) to this file")
+	fs.DurationVar(&f.Heartbeat, "heartbeat", time.Second, "heartbeat snapshot interval for -events (0 disables)")
 	fs.IntVar(&f.Workers, "workers", runtime.GOMAXPROCS(0),
 		"worker goroutines for parallel phases (results are identical for any value; 1 = serial)")
 	return f
 }
 
+// TelemetryServer is the handle Run.Finish uses to stop the -listen HTTP
+// server gracefully. The obs/telemetry subpackage implements it.
+type TelemetryServer interface {
+	Addr() string
+	Shutdown(ctx context.Context) error
+}
+
+// telemetryStart is installed by the obs/telemetry package's init. The
+// indirection keeps the server (which imports obs for the registry and the
+// span tree) out of obs's own import graph; commands blank-import
+// compsynth/internal/obs/telemetry to link it in, mirroring how
+// net/http/pprof registers itself.
+var telemetryStart func(r *Run, addr string) (TelemetryServer, error)
+
+// RegisterTelemetry installs the -listen server constructor.
+func RegisterTelemetry(start func(r *Run, addr string) (TelemetryServer, error)) {
+	telemetryStart = start
+}
+
 // Run bundles the live observability state of one tool invocation.
 type Run struct {
-	Tracer  *Tracer // nil unless -trace or -metrics-out was given
+	Tracer  *Tracer // nil unless -trace, -metrics-out, -events or -listen was given
 	Log     *Logger
 	Metrics *Metrics
 	Report  *Report
 
-	flags Flags
-	root  *Span
-	base  Snapshot
-	start time.Time
+	flags    Flags
+	root     *Span
+	base     Snapshot
+	start    time.Time
+	server   TelemetryServer
+	recorder *Recorder
 }
 
-// Start builds the run state from the parsed flags: the logger, the tracer
-// (only when tracing or reporting is requested, so the nil fast path stays
-// active otherwise), the report skeleton, and the pprof server.
+// Start builds the run state from the parsed flags. Failures to honor an
+// explicitly requested facility — an -events file that cannot be created, a
+// -listen address that cannot be bound — are reported unconditionally on
+// stderr and exit the process with status 2: an artifact or endpoint the
+// user asked for must never go missing silently.
 func (f *Flags) Start(tool string) *Run {
+	r, err := f.start(tool)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+		os.Exit(2)
+	}
+	return r
+}
+
+// start is Start with the error path exposed (for tests).
+func (f *Flags) start(tool string) (*Run, error) {
 	r := &Run{
 		Log:     NewLogger(os.Stdout, os.Stderr, f.Verbose),
 		Metrics: Default(),
 		flags:   *f,
 		start:   time.Now(),
 	}
-	if f.Trace || f.MetricsOut != "" {
+	listen := f.Listen
+	if listen == "" {
+		listen = f.PprofAddr
+	}
+	// The tracer doubles as the live span tree for /progress and the span
+	// event source for -events, so any of those facilities enables it.
+	if f.Trace || f.MetricsOut != "" || f.Events != "" || listen != "" {
 		r.Tracer = NewTracer()
 	}
 	r.base = r.Metrics.Snapshot()
@@ -76,18 +135,37 @@ func (f *Flags) Start(tool string) *Run {
 		Start: r.start,
 		Env:   Environment(),
 	}
-	if f.PprofAddr != "" {
-		addr, lg := f.PprofAddr, r.Log
-		go func() {
-			if err := http.ListenAndServe(addr, nil); err != nil {
-				lg.Verbosef("pprof server on %s failed: %v", addr, err)
-			}
-		}()
-		r.Log.Verbosef("pprof listening on http://%s/debug/pprof", addr)
+	if f.Events != "" {
+		rec, err := NewRecorder(f.Events, f.Heartbeat, r.Metrics)
+		if err != nil {
+			return nil, fmt.Errorf("-events: %v", err)
+		}
+		r.recorder = rec
+		rec.RunStart(tool, os.Args[1:])
+		r.Tracer.SetObserver(rec)
+		SetProgressSink(rec)
+		r.Log.Verbosef("recording events to %s", f.Events)
+	}
+	if listen != "" {
+		if telemetryStart == nil {
+			r.closeRecorder()
+			return nil, fmt.Errorf("-listen %s: telemetry server not linked in (import compsynth/internal/obs/telemetry)", listen)
+		}
+		srv, err := telemetryStart(r, listen)
+		if err != nil {
+			r.closeRecorder()
+			return nil, fmt.Errorf("-listen %s: %v", listen, err)
+		}
+		r.server = srv
+		r.Log.Verbosef("telemetry on http://%s/metrics (progress at /progress, pprof at /debug/pprof)", srv.Addr())
 	}
 	r.root = r.Tracer.StartSpan(tool)
-	return r
+	return r, nil
 }
+
+// Server returns the live telemetry server, or nil when -listen is off
+// (tests use it to reach the bound address).
+func (r *Run) Server() TelemetryServer { return r.server }
 
 // CircuitBefore records (and verbosely logs) the input circuit.
 func (r *Run) CircuitBefore(c *circuit.Circuit) {
@@ -103,15 +181,44 @@ func (r *Run) CircuitAfter(c *circuit.Circuit) {
 	r.Log.Verbosef("output %s: %v, paths %d", c.Name, c.Stats(), info.Paths)
 }
 
-// Finish closes the root span, snapshots metrics into the report, prints the
-// span tree under -trace, and writes the JSON report when requested. It
-// returns the report-writing error (callers treat it as fatal so a missing
-// report never passes silently).
+// closeRecorder detaches and closes the flight recorder, returning its
+// first recording error.
+func (r *Run) closeRecorder() error {
+	if r.recorder == nil {
+		return nil
+	}
+	SetProgressSink(nil)
+	r.Tracer.SetObserver(nil)
+	err := r.recorder.Close()
+	r.recorder = nil
+	return err
+}
+
+// Finish closes the root span, snapshots metrics into the report, prints
+// the span tree under -trace, shuts the telemetry server down gracefully,
+// closes the flight recorder, and writes the JSON report when requested.
+// It returns the first artifact error (report or event stream); callers
+// treat it as fatal so a missing artifact never passes silently.
 func (r *Run) Finish() error {
 	r.root.End()
 	r.Report.DurationMS = float64(time.Since(r.start)) / float64(time.Millisecond)
 	r.Report.Spans = r.Tracer.Export()
 	r.Report.Metrics = r.Metrics.Snapshot().Diff(r.base)
+	if r.server != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		if err := r.server.Shutdown(ctx); err != nil {
+			r.Log.Verbosef("telemetry shutdown: %v", err)
+		}
+		cancel()
+		r.server = nil
+	}
+	var firstErr error
+	if r.recorder != nil {
+		r.recorder.RunEnd(r.Report.DurationMS, r.Report.Error)
+		if err := r.closeRecorder(); err != nil {
+			firstErr = fmt.Errorf("-events: %v", err)
+		}
+	}
 	if r.flags.Trace {
 		r.Tracer.Dump(os.Stderr)
 	}
@@ -120,9 +227,26 @@ func (r *Run) Finish() error {
 	}
 	if r.flags.MetricsOut != "" {
 		if err := r.Report.WriteFile(r.flags.MetricsOut); err != nil {
-			return err
+			if firstErr == nil {
+				firstErr = err
+			}
+		} else {
+			r.Log.Verbosef("wrote report %s", r.flags.MetricsOut)
 		}
-		r.Log.Verbosef("wrote report %s", r.flags.MetricsOut)
 	}
-	return nil
+	return firstErr
+}
+
+// Fail reports err, records it on the run report, and finishes the run —
+// the -metrics-out report and the event stream are still written, carrying
+// the error — then returns a non-zero status for os.Exit. Every command
+// routes its post-Start failures through Fail so error runs leave the same
+// artifacts as successful ones.
+func (r *Run) Fail(err error) int {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", r.Report.Tool, err)
+	r.Report.Error = err.Error()
+	if ferr := r.Finish(); ferr != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", r.Report.Tool, ferr)
+	}
+	return 1
 }

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one NDJSON line of the flight recorder. Every event carries its
+// type and the elapsed milliseconds since the recorder opened; the other
+// fields depend on the type:
+//
+//	run_start   tool, args
+//	span_begin  name, depth
+//	span_end    name, depth, dur_ms, alloc_bytes
+//	progress    stage, done, total (total 0 = unbounded)
+//	heartbeat   counters, gauges, goroutines, heap_bytes
+//	run_end     dur_ms, error
+type Event struct {
+	Type       string           `json:"t"`
+	ElapsedMS  float64          `json:"ms"`
+	Tool       string           `json:"tool,omitempty"`
+	Args       []string         `json:"args,omitempty"`
+	Name       string           `json:"name,omitempty"`
+	Depth      int              `json:"depth,omitempty"`
+	DurMS      float64          `json:"dur_ms,omitempty"`
+	AllocBytes int64            `json:"alloc_bytes,omitempty"`
+	Stage      string           `json:"stage,omitempty"`
+	Done       int64            `json:"done,omitempty"`
+	Total      int64            `json:"total,omitempty"`
+	Goroutines int              `json:"goroutines,omitempty"`
+	HeapBytes  uint64           `json:"heap_bytes,omitempty"`
+	Counters   map[string]int64 `json:"counters,omitempty"`
+	Gauges     map[string]int64 `json:"gauges,omitempty"`
+	Error      string           `json:"error,omitempty"`
+}
+
+// progressMinInterval throttles per-stage progress events: hot loops may
+// emit thousands per second (one per fault-simulation block), and the
+// recorder keeps only the freshest per stage at this cadence. Final events
+// (done == total) always pass so a consumer sees every completion.
+const progressMinInterval = 100 * time.Millisecond
+
+// Recorder streams run events to an NDJSON file — a flight recorder for
+// in-flight runs. All methods are safe for concurrent use; a nil *Recorder
+// no-ops. Events are written (and flushed) one JSON object per line as they
+// happen, so `tail -f` on the file follows a live run.
+type Recorder struct {
+	mu       sync.Mutex
+	f        *os.File
+	enc      *json.Encoder
+	start    time.Time
+	err      error // first write error; reported by Close
+	lastProg map[string]time.Time
+
+	metrics *Metrics
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// NewRecorder opens path for writing and, when interval > 0, starts a
+// heartbeat goroutine that records a counters/gauges snapshot every
+// interval until Close.
+func NewRecorder(path string, interval time.Duration, m *Metrics) (*Recorder, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	r := &Recorder{
+		f:        f,
+		enc:      json.NewEncoder(f),
+		start:    time.Now(),
+		lastProg: map[string]time.Time{},
+		metrics:  m,
+	}
+	if interval > 0 {
+		r.stop = make(chan struct{})
+		r.done = make(chan struct{})
+		go r.heartbeatLoop(interval)
+	}
+	return r, nil
+}
+
+func (r *Recorder) write(ev Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ev.ElapsedMS = float64(time.Since(r.start)) / float64(time.Millisecond)
+	if err := r.enc.Encode(ev); err != nil && r.err == nil {
+		r.err = err
+	}
+}
+
+// RunStart records the opening event.
+func (r *Recorder) RunStart(tool string, args []string) {
+	r.write(Event{Type: "run_start", Tool: tool, Args: args})
+}
+
+// RunEnd records the closing event (call before Close).
+func (r *Recorder) RunEnd(durMS float64, errStr string) {
+	r.write(Event{Type: "run_end", DurMS: durMS, Error: errStr})
+}
+
+// SpanBegin implements SpanObserver.
+func (r *Recorder) SpanBegin(name string, depth int) {
+	r.write(Event{Type: "span_begin", Name: name, Depth: depth})
+}
+
+// SpanEnd implements SpanObserver.
+func (r *Recorder) SpanEnd(name string, depth int, dur time.Duration, allocBytes int64) {
+	r.write(Event{
+		Type: "span_end", Name: name, Depth: depth,
+		DurMS:      float64(dur) / float64(time.Millisecond),
+		AllocBytes: allocBytes,
+	})
+}
+
+// Progress records one hot-loop progress event, throttled per stage to
+// progressMinInterval (completion events always pass).
+func (r *Recorder) Progress(stage string, done, total int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	now := time.Now()
+	final := total > 0 && done >= total
+	if !final && now.Sub(r.lastProg[stage]) < progressMinInterval {
+		r.mu.Unlock()
+		return
+	}
+	r.lastProg[stage] = now
+	r.mu.Unlock()
+	r.write(Event{Type: "progress", Stage: stage, Done: done, Total: total})
+}
+
+// heartbeat records one periodic snapshot event.
+func (r *Recorder) heartbeat() {
+	snap := r.metrics.Snapshot()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.write(Event{
+		Type:       "heartbeat",
+		Counters:   snap.Counters,
+		Gauges:     snap.Gauges,
+		Goroutines: runtime.NumGoroutine(),
+		HeapBytes:  ms.HeapAlloc,
+	})
+}
+
+func (r *Recorder) heartbeatLoop(interval time.Duration) {
+	defer close(r.done)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			r.heartbeat()
+		case <-r.stop:
+			return
+		}
+	}
+}
+
+// Close stops the heartbeat, flushes and closes the file, and returns the
+// first error encountered while recording (so a broken event stream fails
+// the run rather than passing silently).
+func (r *Recorder) Close() error {
+	if r == nil {
+		return nil
+	}
+	if r.stop != nil {
+		close(r.stop)
+		<-r.done
+		r.stop = nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	err := r.err
+	if cerr := r.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// progressSink is the process-wide flight recorder, installed by Flags.Start
+// when -events is given. The hot loops reach it through EmitProgress; an
+// atomic pointer keeps the disabled path to a single load.
+var progressSink atomic.Pointer[Recorder]
+
+// SetProgressSink installs (or, with nil, removes) the process-wide
+// progress event sink.
+func SetProgressSink(r *Recorder) {
+	progressSink.Store(r)
+}
+
+// EmitProgress records a progress event on the installed flight recorder.
+// The call is nil-safe and allocation-free when no recorder is installed,
+// so hot loops (resynthesis passes, fault-simulation blocks, experiment
+// rows) call it unconditionally.
+func EmitProgress(stage string, done, total int64) {
+	if r := progressSink.Load(); r != nil {
+		r.Progress(stage, done, total)
+	}
+}

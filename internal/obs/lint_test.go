@@ -1,0 +1,62 @@
+package obs_test
+
+import (
+	"regexp"
+	"testing"
+
+	"compsynth/internal/obs"
+
+	// Every instrumented pipeline package, linked in so its package-level
+	// obs.C/G/H registrations land in the default registry before the lint
+	// walks it.
+	_ "compsynth/internal/atpg"
+	_ "compsynth/internal/compare"
+	_ "compsynth/internal/delay"
+	_ "compsynth/internal/exper"
+	_ "compsynth/internal/faultsim"
+	_ "compsynth/internal/par"
+	_ "compsynth/internal/redundancy"
+	_ "compsynth/internal/resynth"
+)
+
+// metricNameRe is the registry naming convention: "package.snake_case". It
+// also guarantees a clean Prometheus rendering (PromName only has to turn
+// the dot into an underscore, never mangle).
+var metricNameRe = regexp.MustCompile(`^[a-z][a-z0-9]*(\.[a-z0-9_]+)+$`)
+
+// TestMetricNameLint walks every instrument registered in the default
+// registry and rejects names that break the package.snake_case convention.
+func TestMetricNameLint(t *testing.T) {
+	s := obs.Default().Snapshot()
+	check := func(kind, name string) {
+		if !metricNameRe.MatchString(name) {
+			t.Errorf("%s %q violates the package.snake_case naming convention", kind, name)
+		}
+	}
+	n := 0
+	for name := range s.Counters {
+		check("counter", name)
+		n++
+	}
+	for name := range s.Gauges {
+		check("gauge", name)
+		n++
+	}
+	for name := range s.Histograms {
+		check("histogram", name)
+		n++
+	}
+	// The blank imports above must actually have registered the pipeline
+	// instruments, or the lint is vacuous.
+	if n < 20 {
+		t.Fatalf("only %d instruments registered; lint did not see the pipeline packages", n)
+	}
+	for _, want := range []string{
+		"resynth.candidates_examined", "faultsim.patterns_simulated",
+		"atpg.backtracks", "exper.rows_completed", "par.tasks",
+	} {
+		if _, ok := s.Counters[want]; !ok {
+			t.Errorf("expected pipeline counter %q not registered", want)
+		}
+	}
+}

@@ -239,16 +239,35 @@ func (h *Histogram) reset() {
 	h.samples = h.samples[:0]
 }
 
-// HistogramStats is the JSON-friendly summary of a histogram.
-type HistogramStats struct {
+// DefaultBucketBounds are the cumulative-bucket upper bounds attached to
+// every histogram snapshot: a 1-2.5-5 ladder over six decades, wide enough
+// for both the size-style distributions (candidate inputs, backtracks) and
+// millisecond timings the pipeline observes. The +Inf bucket is implicit
+// (it always equals Count).
+var DefaultBucketBounds = []float64{
+	1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 100000, 1e6,
+}
+
+// Bucket is one cumulative histogram bucket: Count observations were <= LE.
+type Bucket struct {
+	LE    float64 `json:"le"`
 	Count int64   `json:"count"`
-	Sum   float64 `json:"sum"`
-	Min   float64 `json:"min"`
-	Max   float64 `json:"max"`
-	Mean  float64 `json:"mean"`
-	P50   float64 `json:"p50"`
-	P90   float64 `json:"p90"`
-	P99   float64 `json:"p99"`
+}
+
+// HistogramStats is the JSON-friendly summary of a histogram. Buckets are
+// cumulative counts of the sampled observations over DefaultBucketBounds
+// (the sample buffer is capped, so past the cap they undercount; Count and
+// Sum stay exact).
+type HistogramStats struct {
+	Count   int64    `json:"count"`
+	Sum     float64  `json:"sum"`
+	Min     float64  `json:"min"`
+	Max     float64  `json:"max"`
+	Mean    float64  `json:"mean"`
+	P50     float64  `json:"p50"`
+	P90     float64  `json:"p90"`
+	P99     float64  `json:"p99"`
+	Buckets []Bucket `json:"buckets,omitempty"`
 }
 
 func (h *Histogram) stats() HistogramStats {
@@ -263,6 +282,16 @@ func (h *Histogram) stats() HistogramStats {
 	s.P50 = percentileSorted(sorted, 50)
 	s.P90 = percentileSorted(sorted, 90)
 	s.P99 = percentileSorted(sorted, 99)
+	if len(sorted) > 0 {
+		s.Buckets = make([]Bucket, len(DefaultBucketBounds))
+		i := 0
+		for bi, le := range DefaultBucketBounds {
+			for i < len(sorted) && sorted[i] <= le {
+				i++
+			}
+			s.Buckets[bi] = Bucket{LE: le, Count: int64(i)}
+		}
+	}
 	return s
 }
 

@@ -1,21 +1,27 @@
 // Package obs is the observability substrate for the synthesis-for-
 // testability pipeline: hierarchical tracing spans, a process-wide metrics
-// registry, a verbose run logger, and a JSON run report that ties them all
-// together.
+// registry, a verbose run logger, a JSON run report that ties them all
+// together, and the live half — an NDJSON flight recorder (-events) and the
+// hooks for the -listen telemetry server implemented in the obs/telemetry
+// subpackage (/metrics in Prometheus exposition format, /progress, /healthz,
+// /debug/pprof; commands blank-import that package to link it in).
 //
 // Design constraints, in order:
 //
 //  1. Zero cost when off. Every entry point is nil-safe — a nil *Tracer,
-//     *Span or *Logger no-ops without allocating — so the pipeline packages
-//     instrument their hot loops unconditionally and pay nothing unless a
-//     command enables tracing. Counters are single atomic adds and stay on
-//     permanently.
+//     *Span, *Logger or *Recorder no-ops without allocating — so the
+//     pipeline packages instrument their hot loops unconditionally and pay
+//     nothing unless a command enables tracing. Counters are single atomic
+//     adds and stay on permanently; EmitProgress is a single atomic load
+//     until a flight recorder is installed.
 //  2. No dependencies beyond the standard library, matching the rest of the
 //     module.
 //  3. One JSON artifact per run. A Report serializes the tool name and
 //     arguments, environment, circuit statistics before and after, the span
 //     tree, and a snapshot of every registered metric, so experiments can be
-//     diffed and archived mechanically.
+//     diffed and archived mechanically (cmd/obsdiff gates CI on exactly
+//     that diff). The -events stream is the same idea for runs that die
+//     mid-flight: one flushed JSON event per line, tail -f-able.
 //
 // The conventional wiring for a command is:
 //

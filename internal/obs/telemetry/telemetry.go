@@ -1,0 +1,174 @@
+// Package telemetry is the live half of the observability substrate: an
+// embeddable HTTP server exposing the process-wide metrics registry in
+// Prometheus text exposition format (/metrics), a JSON snapshot of the
+// in-flight span tree and progress gauges (/progress), a liveness probe
+// (/healthz), and the net/http/pprof handlers, all on one private mux (no
+// default-mux registration).
+//
+// Importing the package installs the server constructor into internal/obs,
+// which wires it to the shared -listen flag; commands therefore only need a
+// blank import:
+//
+//	import _ "compsynth/internal/obs/telemetry"
+//
+// The indirection mirrors net/http/pprof's side-effect registration and
+// keeps obs itself free of an import cycle.
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"compsynth/internal/obs"
+)
+
+func init() {
+	obs.RegisterTelemetry(func(r *obs.Run, addr string) (obs.TelemetryServer, error) {
+		return New(r, addr)
+	})
+}
+
+// Server serves the telemetry endpoints for one run.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// New binds addr and starts serving; a bind failure is returned
+// synchronously so callers can report it before any work starts.
+func New(run *obs.Run, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(run)}}
+	go s.srv.Serve(ln) // returns ErrServerClosed after Shutdown
+	return s, nil
+}
+
+// Addr returns the bound address (resolves ":0" to the real port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Shutdown stops the server gracefully, waiting for in-flight requests.
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }
+
+// Handler builds the telemetry mux for a run: /metrics, /progress,
+// /healthz and the pprof family under /debug/pprof/.
+func Handler(run *obs.Run) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteProm(w, run.Metrics.Snapshot())
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(snapshotProgress(run))
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Progress is the /progress response: a live view of the run, with open
+// spans exported at their duration so far.
+type Progress struct {
+	Tool       string           `json:"tool"`
+	Start      time.Time        `json:"start"`
+	ElapsedMS  float64          `json:"elapsed_ms"`
+	Goroutines int              `json:"goroutines"`
+	Counters   map[string]int64 `json:"counters,omitempty"`
+	Gauges     map[string]int64 `json:"gauges,omitempty"`
+	Spans      []obs.SpanJSON   `json:"spans,omitempty"`
+}
+
+func snapshotProgress(run *obs.Run) Progress {
+	snap := run.Metrics.Snapshot()
+	return Progress{
+		Tool:       run.Report.Tool,
+		Start:      run.Report.Start,
+		ElapsedMS:  float64(time.Since(run.Report.Start)) / float64(time.Millisecond),
+		Goroutines: runtime.NumGoroutine(),
+		Counters:   snap.Counters,
+		Gauges:     snap.Gauges,
+		Spans:      run.Tracer.Export(),
+	}
+}
+
+// WriteProm renders a metrics snapshot in Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples,
+// histograms with cumulative le-labeled buckets plus _sum and _count.
+// Metric names are sanitized (every character outside [a-zA-Z0-9_:]
+// becomes '_') and families are emitted in sorted order.
+func WriteProm(w io.Writer, s obs.Snapshot) {
+	writeFamily(w, s.Counters, "counter")
+	writeFamily(w, s.Gauges, "gauge")
+	names := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		pn := PromName(name)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", pn)
+		for _, b := range h.Buckets {
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, formatLE(b.LE), b.Count)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
+		fmt.Fprintf(w, "%s_sum %v\n", pn, h.Sum)
+		fmt.Fprintf(w, "%s_count %d\n", pn, h.Count)
+	}
+}
+
+func writeFamily(w io.Writer, vals map[string]int64, typ string) {
+	names := make([]string, 0, len(vals))
+	for name := range vals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := PromName(name)
+		fmt.Fprintf(w, "# TYPE %s %s\n", pn, typ)
+		fmt.Fprintf(w, "%s %d\n", pn, vals[name])
+	}
+}
+
+// formatLE renders a bucket bound the way Prometheus does (shortest
+// decimal, e.g. "2.5", "100").
+func formatLE(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", v), "0"), ".")
+}
+
+// PromName sanitizes a registry name ("resynth.candidates_examined") into a
+// valid Prometheus metric name ("resynth_candidates_examined").
+func PromName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -28,11 +28,31 @@ type Tracer struct {
 	// the cap are counted in Dropped() but not retained.
 	MaxSpans int
 
-	epoch   time.Time
-	roots   []*Span
-	cur     *Span
-	nSpans  int
-	dropped int64
+	epoch    time.Time
+	roots    []*Span
+	cur      *Span
+	nSpans   int
+	dropped  int64
+	observer SpanObserver
+}
+
+// SpanObserver receives live begin/end notifications for every recorded
+// span (the flight recorder streams them as NDJSON events). Callbacks run
+// under the tracer's mutex, so they must be fast and must not call back
+// into the tracer.
+type SpanObserver interface {
+	SpanBegin(name string, depth int)
+	SpanEnd(name string, depth int, dur time.Duration, allocBytes int64)
+}
+
+// SetObserver installs (or, with nil, removes) the live span observer.
+func (t *Tracer) SetObserver(o SpanObserver) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.observer = o
+	t.mu.Unlock()
 }
 
 // NewTracer returns an enabled tracer with allocation tracking on.
@@ -46,6 +66,7 @@ type Span struct {
 	tracer     *Tracer
 	parent     *Span
 	children   []*Span
+	depth      int
 	start      time.Time
 	dur        time.Duration
 	allocStart uint64
@@ -93,9 +114,13 @@ func (t *Tracer) StartSpan(name string) *Span {
 		t.roots = append(t.roots, s)
 	} else {
 		t.cur.children = append(t.cur.children, s)
+		s.depth = t.cur.depth + 1
 	}
 	t.cur = s
 	t.nSpans++
+	if t.observer != nil {
+		t.observer.SpanBegin(s.name, s.depth)
+	}
 	return s
 }
 
@@ -125,6 +150,9 @@ func (s *Span) End() {
 			t.cur = s.parent
 			break
 		}
+	}
+	if t.observer != nil {
+		t.observer.SpanEnd(s.name, s.depth, s.dur, s.allocBytes)
 	}
 }
 

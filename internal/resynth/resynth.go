@@ -40,6 +40,7 @@ var (
 	mCacheHits    = obs.C("resynth.identify_cache_hits")
 	mExtractHits  = obs.C("resynth.extract_cache_hits")
 	hCandInputs   = obs.H("resynth.candidate_inputs")
+	gPass         = obs.G("resynth.pass")
 )
 
 // Objective selects the optimization target.
@@ -188,6 +189,8 @@ func Optimize(c *circuit.Circuit, opt Options) (*Result, error) {
 	}
 	sp.SetInt("workers", int64(o.workers))
 	for pass := 0; pass < opt.MaxPasses; pass++ {
+		gPass.Set(int64(pass + 1))
+		obs.EmitProgress("resynth.pass", int64(pass+1), int64(opt.MaxPasses))
 		psp := opt.Tracer.StartSpan("resynth.pass")
 		psp.SetInt("pass", int64(pass))
 		before := work.Clone()
@@ -297,6 +300,9 @@ func (o *optimizer) pass(c *circuit.Circuit) int {
 			continue
 		}
 		best := o.selectReplacement(c, g, np, npOK)
+		// Cumulative candidate progress for the flight recorder (the sink
+		// throttles; the off path is one atomic load).
+		obs.EmitProgress("resynth.candidates", mCandidates.Value(), 0)
 		if best != nil {
 			o.apply(c, best)
 			mReplacements.Inc()

@@ -28,4 +28,21 @@ echo "== bench smoke =="
 # sweeps are scripts/bench.sh).
 go test -bench . -benchtime 1x -run '^$' ./...
 
+echo "== obsdiff smoke =="
+# Regenerate the adder4 run report and diff it against the committed golden
+# (internal/obsdiff/testdata). The pipeline is deterministic, so every
+# counter, span count and circuit stat must match exactly (tolerance 0);
+# wall-clock quantities get a huge tolerance because machines differ. The
+# worker count is pinned to the golden's. A drifted counter or a grown
+# circuit fails CI here; the injected-regression direction of the gate is
+# covered by the internal/obsdiff tests.
+fresh="$(mktemp)"
+trap 'rm -f "$fresh"' EXIT
+go run ./cmd/sft -in circuits/adder4.bench -report -workers 2 \
+    -metrics-out "$fresh" >/dev/null
+go run ./cmd/obsdiff -tol 0 -tol-time 100 \
+    internal/obsdiff/testdata/golden_report.json "$fresh"
+# Parser sanity on the committed bench baseline (self-diff must be clean).
+go run ./cmd/obsdiff BENCH_2026-08-06.json BENCH_2026-08-06.json >/dev/null
+
 echo "ci: all checks passed"
