@@ -5,8 +5,8 @@
 //
 // Usage:
 //
-//	obsdiff [-tol f] [-tol-time f] [-tol-bench f] [-metric name=f]...
-//	        [-all] [-json] BEFORE AFTER
+//	obsdiff [-tol f] [-tol-time f] [-tol-bench f] [-tol-alloc f]
+//	        [-metric name=f]... [-all] [-json] BEFORE AFTER
 //
 // Tolerances are relative fractions (0.1 = 10%). Exit status: 0 when every
 // delta is within tolerance, 1 on regression, 2 on usage or load errors.
@@ -31,7 +31,9 @@ func main() {
 	flag.Float64Var(&opt.TolTime, "tol-time", opt.TolTime,
 		"relative tolerance for wall-clock quantities (durations, span timings)")
 	flag.Float64Var(&opt.TolBench, "tol-bench", opt.TolBench,
-		"relative tolerance for benchmark ns/op and speedups")
+		"relative tolerance for benchmark ns/op, B/op and speedups")
+	flag.Float64Var(&opt.TolAlloc, "tol-alloc", opt.TolAlloc,
+		"relative tolerance for benchmark allocs/op (default 0: allocations may only fall)")
 	flag.Func("metric", "per-quantity tolerance override, name=fraction (repeatable)", func(s string) error {
 		name, frac, ok := strings.Cut(s, "=")
 		if !ok {

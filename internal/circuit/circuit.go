@@ -170,6 +170,7 @@ type Circuit struct {
 	fanoutsOK  bool
 	topoCache  []int
 	levelCache []int
+	journal    map[int]bool // touched-node recording; nil = off (see journal.go)
 }
 
 // New returns an empty circuit.
@@ -226,6 +227,7 @@ func (c *Circuit) addNode(t GateType, name string, fanin []int) int {
 	}
 	c.Nodes = append(c.Nodes, &Node{ID: id, Type: t, Name: name, Fanin: fanin})
 	c.byName[name] = id
+	c.touch(id)
 	c.invalidate()
 	return id
 }

@@ -102,6 +102,8 @@ func (c *Circuit) SetFanin(id, pin, src int) {
 		panic("circuit: SetFanin pin out of range")
 	}
 	nd.Fanin[pin] = src
+	c.touch(id)
+	c.touch(src)
 	c.invalidate()
 }
 
@@ -116,6 +118,8 @@ func (c *Circuit) AddFaninFront(id, f int) {
 		panic("circuit: AddFaninFront on fixed-arity node")
 	}
 	nd.Fanin = append([]int{f}, nd.Fanin...)
+	c.touch(id)
+	c.touch(f)
 	c.invalidate()
 }
 
@@ -137,6 +141,7 @@ func (c *Circuit) ReplaceUses(old, new int) int {
 		for i, f := range nd.Fanin {
 			if f == old {
 				nd.Fanin[i] = new
+				c.touch(nd.ID)
 				n++
 			}
 		}
@@ -148,6 +153,8 @@ func (c *Circuit) ReplaceUses(old, new int) int {
 		}
 	}
 	if n > 0 {
+		c.touch(old)
+		c.touch(new)
 		c.invalidate()
 	}
 	return n
@@ -169,6 +176,7 @@ func (c *Circuit) Kill(id int) {
 	delete(c.byName, nd.Name)
 	nd.Type = dead
 	nd.Fanin = nil
+	c.touch(id)
 	c.invalidate()
 }
 
@@ -198,6 +206,7 @@ func (c *Circuit) SweepDead() int {
 			delete(c.byName, nd.Name)
 			nd.Type = dead
 			nd.Fanin = nil
+			c.touch(nd.ID)
 			removed++
 		}
 	}
@@ -235,6 +244,7 @@ func (c *Circuit) simplifyPass() int {
 		if nd == nil || nd.Type == dead {
 			continue
 		}
+		preChanges := changes
 		switch nd.Type {
 		case And, Or, Nand, Nor:
 			ctl, _ := nd.Type.ControllingValue()
@@ -345,6 +355,11 @@ func (c *Circuit) simplifyPass() int {
 				changes++
 			}
 		}
+		if changes > preChanges {
+			// In-place rewrites above (dropped pins, type demotions, buffer
+			// bypasses) change this node's definition: record it.
+			c.touch(id)
+		}
 	}
 	if changes > 0 {
 		c.invalidate()
@@ -361,6 +376,7 @@ func (c *Circuit) replaceWithConst(id int, v bool) {
 		nd.Type = Const0
 	}
 	nd.Fanin = nil
+	c.touch(id)
 	c.invalidate()
 }
 

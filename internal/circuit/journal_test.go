@@ -1,0 +1,72 @@
+package circuit
+
+import "testing"
+
+func TestJournalRecordsEdits(t *testing.T) {
+	c := New("j")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	g := c.AddGate(And, "g", a, b)
+	h := c.AddGate(Or, "h", g, b)
+	c.MarkOutput(h)
+
+	c.BeginJournal()
+	if j := c.TakeJournal(); len(j) != 0 {
+		t.Fatalf("fresh journal not empty: %v", j)
+	}
+
+	c.SetFanin(h, 0, a)
+	j := c.TakeJournal()
+	if !j[h] || !j[a] {
+		t.Fatalf("SetFanin journal missing endpoints: %v", j)
+	}
+
+	// g lost its last consumer; SweepDead must report it.
+	c.SweepDead()
+	j = c.TakeJournal()
+	if !j[g] {
+		t.Fatalf("SweepDead journal missing removed node: %v", j)
+	}
+
+	k := c.AddGate(Nand, "k", a, b)
+	c.ReplaceUses(h, k)
+	j = c.TakeJournal()
+	if !j[k] || !j[h] {
+		t.Fatalf("AddGate+ReplaceUses journal incomplete: %v", j)
+	}
+
+	c.EndJournal()
+	c.SetFanin(h, 0, b)
+	if c.journal != nil {
+		t.Fatal("journal still recording after EndJournal")
+	}
+}
+
+func TestJournalCoversSimplify(t *testing.T) {
+	c := New("s")
+	a := c.AddInput("a")
+	one := c.AddGate(Const1, "one")
+	g := c.AddGate(And, "g", a, one) // AND with identity constant: pin dropped
+	h := c.AddGate(And, "h", g, g)   // duplicate fanin, then 1-input -> Buf
+	c.MarkOutput(h)
+
+	c.BeginJournal()
+	c.Simplify()
+	j := c.TakeJournal()
+	if !j[g] {
+		t.Fatalf("simplify journal missing rewritten gate g: %v", j)
+	}
+	if !j[h] {
+		t.Fatalf("simplify journal missing rewritten gate h: %v", j)
+	}
+}
+
+func TestJournalOffByDefault(t *testing.T) {
+	c := New("off")
+	a := c.AddInput("a")
+	g := c.AddGate(Not, "g", a)
+	c.MarkOutput(g)
+	if j := c.TakeJournal(); j != nil {
+		t.Fatalf("TakeJournal without BeginJournal = %v", j)
+	}
+}

@@ -2,6 +2,7 @@ package compare
 
 import (
 	"math/rand"
+	"sync"
 
 	"compsynth/internal/logic"
 )
@@ -20,6 +21,13 @@ import (
 //
 // Suffix and prefix sets decompose similarly, so inconsistent orders are
 // pruned immediately instead of being enumerated.
+//
+// The recursion runs entirely on pooled scratch: cofactors keep the full
+// table width (the chosen half is duplicated, so each level's tables fit
+// fixed per-depth slots — see logic.CofactorKeepInto), the permutation is
+// assembled top-down in one buffer, and L/U accumulate on the way down.
+// Identification is the innermost hot loop of resynthesis; a warm search
+// that finds nothing allocates nothing.
 
 // Identify returns a Spec for f if f is a comparison function with its
 // onset forming the interval (Complement = false). The constant-0 function
@@ -56,7 +64,7 @@ func identifyBest(f logic.TT) (Spec, bool) {
 	}
 	var found Spec
 	ok := false
-	enumerate(f.Not(), true, func(s Spec) bool {
+	enumerateNot(f, func(s Spec) bool {
 		found, ok = s, true
 		return false
 	})
@@ -78,59 +86,130 @@ func IdentifyAll(f logic.TT, limit int) []Spec {
 	}
 	enumerate(f, false, add)
 	if len(specs) < limit && !f.IsConst(false) && !f.IsConst(true) {
-		enumerate(f.Not(), true, add)
+		enumerateNot(f, add)
 	}
 	return specs
+}
+
+// searchCtx is the pooled working set of one exact search over n variables:
+// per-depth cofactor slots (full-width tables), per-depth remaining-variable
+// slices, and the output permutation buffer filled top-down. Contexts are
+// pooled per variable count so concurrent identifications do not contend.
+type searchCtx struct {
+	n    int
+	perm []int // perm[:depth] holds the chosen variables so far
+	rem0 []int // initial remaining set {0..n-1}
+	neg  logic.TT
+	fr   []searchFrame // frame d serves recursion depth d
+	emit func(perm []int, l, u int) bool
+}
+
+// searchFrame holds one depth's scratch: up to four cofactors (the split
+// search needs fs0, fs1, fp0, fp1) and the remaining-variable slice passed
+// to the next depth.
+type searchFrame struct {
+	t    [4]logic.TT
+	rest []int
+}
+
+var ctxPools [logic.MaxVars + 1]sync.Pool
+
+func getCtx(n int) *searchCtx {
+	if c, ok := ctxPools[n].Get().(*searchCtx); ok {
+		return c
+	}
+	c := &searchCtx{
+		n:    n,
+		perm: make([]int, n),
+		rem0: make([]int, n),
+		neg:  logic.New(n),
+		fr:   make([]searchFrame, n),
+	}
+	for i := range c.rem0 {
+		c.rem0[i] = i
+	}
+	for d := range c.fr {
+		for s := range c.fr[d].t {
+			c.fr[d].t[s] = logic.New(n)
+		}
+		c.fr[d].rest = make([]int, 0, n)
+	}
+	return c
+}
+
+func putCtx(c *searchCtx) {
+	c.emit = nil
+	ctxPools[c.n].Put(c)
 }
 
 // enumerate calls emit for every (perm, L, U) realization of f's onset as an
 // interval. emit returns false to stop. complement is recorded in the Spec.
 func enumerate(f logic.TT, complement bool, emit func(Spec) bool) {
 	n := f.Vars()
-	vars := make([]int, n)
-	for i := range vars {
-		vars[i] = i
-	}
-	searchInterval(f, vars, func(perm []int, l, u int) bool {
+	cx := getCtx(n)
+	cx.emit = func(perm []int, l, u int) bool {
 		s := Spec{N: n, Perm: append([]int(nil), perm...), L: l, U: u, Complement: complement}
 		return emit(s)
-	})
+	}
+	cx.interval(f, cx.rem0, 0, 0, 0)
+	putCtx(cx)
 }
 
-// searchInterval enumerates orders making f's onset the interval [L,U].
-// vars maps current positions (0-based) to original indices. emit returns
-// false to abort the whole search; searchInterval returns false when aborted.
-func searchInterval(f logic.TT, vars []int, emit func(perm []int, l, u int) bool) bool {
-	k := f.Vars()
+// enumerateNot enumerates complemented realizations without allocating the
+// negated table separately: the context's spare full-width slot holds it.
+func enumerateNot(f logic.TT, emit func(Spec) bool) {
+	n := f.Vars()
+	cx := getCtx(n)
+	f.NotInto(cx.neg)
+	cx.emit = func(perm []int, l, u int) bool {
+		s := Spec{N: n, Perm: append([]int(nil), perm...), L: l, U: u, Complement: true}
+		return emit(s)
+	}
+	cx.interval(cx.neg, cx.rem0, 0, 0, 0)
+	putCtx(cx)
+}
+
+// emitLeaf completes the permutation with the remaining variables in their
+// current order and reports (L, U).
+func (cx *searchCtx) emitLeaf(rem []int, depth, l, u int) bool {
+	copy(cx.perm[depth:], rem)
+	return cx.emit(cx.perm[:depth+len(rem)], l, u)
+}
+
+// interval enumerates orders making f's onset the interval [L,U]. rem maps
+// current slots to original variable positions (0-based); depth is the
+// number of variables already fixed; lAcc/uAcc carry the high bits of L and
+// U chosen so far. Returns false when an emit aborted the whole search.
+//
+// f is a full-width table that depends only on variables in rem.
+func (cx *searchCtx) interval(f logic.TT, rem []int, depth, lAcc, uAcc int) bool {
+	k := len(rem)
 	if f.IsConst(false) {
 		return true // empty onset: not an interval
 	}
 	if f.IsConst(true) {
-		return emit(append([]int(nil), vars...), 0, 1<<k-1)
+		return cx.emitLeaf(rem, depth, lAcc, uAcc+1<<k-1)
 	}
 	// k >= 1 here since non-constant.
+	fr := &cx.fr[depth]
+	f0, f1 := fr.t[0], fr.t[1]
 	for p := 0; p < k; p++ {
-		f0 := f.Cofactor(p+1, false)
-		f1 := f.Cofactor(p+1, true)
-		rest := restVars(vars, p)
+		f.CofactorKeepInto(f0, rem[p]+1, false)
+		f.CofactorKeepInto(f1, rem[p]+1, true)
+		rest := restInto(fr.rest[:0], rem, p)
 		half := 1 << (k - 1)
+		cx.perm[depth] = rem[p]
 		switch {
 		case f1.IsConst(false):
-			if !searchInterval(f0, rest, func(perm []int, l, u int) bool {
-				return emit(prepend(vars[p], perm), l, u)
-			}) {
+			if !cx.interval(f0, rest, depth+1, lAcc, uAcc) {
 				return false
 			}
 		case f0.IsConst(false):
-			if !searchInterval(f1, rest, func(perm []int, l, u int) bool {
-				return emit(prepend(vars[p], perm), l+half, u+half)
-			}) {
+			if !cx.interval(f1, rest, depth+1, lAcc+half, uAcc+half) {
 				return false
 			}
 		default:
-			if !searchSplit(f0, f1, rest, func(perm []int, l, u int) bool {
-				return emit(prepend(vars[p], perm), l, u+half)
-			}) {
+			if !cx.split(f0, f1, rest, depth+1, lAcc, uAcc+half) {
 				return false
 			}
 		}
@@ -138,36 +217,38 @@ func searchInterval(f logic.TT, vars []int, emit func(perm []int, l, u int) bool
 	return true
 }
 
-// searchSplit enumerates common orders under which fs is a suffix set
+// split enumerates common orders under which fs is a suffix set
 // ({m : m >= L}) and fp a prefix set ({m : m <= U}) simultaneously.
-// Preconditions: fs and fp are non-constant-0 functions over the same vars.
-func searchSplit(fs, fp logic.TT, vars []int, emit func(perm []int, l, u int) bool) bool {
-	k := fs.Vars()
+// Preconditions: fs and fp are non-constant-0 functions over rem.
+func (cx *searchCtx) split(fs, fp logic.TT, rem []int, depth, lAcc, uAcc int) bool {
+	k := len(rem)
 	if k == 0 {
 		// Single minterm each; both non-0 means both are {0}: L=0, U=0.
-		return emit(nil, 0, 0)
+		return cx.emitLeaf(nil, depth, lAcc, uAcc)
 	}
 	sConst1 := fs.IsConst(true)
 	pConst1 := fp.IsConst(true)
 	if sConst1 && pConst1 {
-		return emit(append([]int(nil), vars...), 0, 1<<k-1)
+		return cx.emitLeaf(rem, depth, lAcc, uAcc+1<<k-1)
 	}
 	if sConst1 {
-		// Only the prefix constraint remains; L = 0.
-		return searchPrefix(fp, vars, func(perm []int, u int) bool {
-			return emit(perm, 0, u)
-		})
+		// Only the prefix constraint remains; L's low bits are 0.
+		return cx.prefix(fp, rem, depth, lAcc, uAcc)
 	}
 	if pConst1 {
-		return searchSuffix(fs, vars, func(perm []int, l int) bool {
-			return emit(perm, l, 1<<k-1)
-		})
+		// Only the suffix constraint remains; U's low bits are all 1.
+		return cx.suffix(fs, rem, depth, lAcc, uAcc+1<<k-1)
 	}
+	fr := &cx.fr[depth]
+	fs0, fs1, fp0, fp1 := fr.t[0], fr.t[1], fr.t[2], fr.t[3]
 	for p := 0; p < k; p++ {
-		fs0, fs1 := fs.Cofactor(p+1, false), fs.Cofactor(p+1, true)
-		fp0, fp1 := fp.Cofactor(p+1, false), fp.Cofactor(p+1, true)
-		rest := restVars(vars, p)
+		fs.CofactorKeepInto(fs0, rem[p]+1, false)
+		fs.CofactorKeepInto(fs1, rem[p]+1, true)
+		fp.CofactorKeepInto(fp0, rem[p]+1, false)
+		fp.CofactorKeepInto(fp1, rem[p]+1, true)
+		rest := restInto(fr.rest[:0], rem, p)
 		half := 1 << (k - 1)
+		cx.perm[depth] = rem[p]
 
 		// Suffix side: either l-bit = 0 (fs1 = 1, fs0 suffix) or
 		// l-bit = 1 (fs0 = 0, fs1 suffix).
@@ -178,7 +259,7 @@ func searchSplit(fs, fp logic.TT, vars []int, emit func(perm []int, l, u int) bo
 			lAdd, uAdd     int
 			okS, okP       bool
 		}
-		branches := []branch{
+		branches := [4]branch{
 			{fs0, fp1, 0, half, fs1.IsConst(true), fp0.IsConst(true)},
 			{fs0, fp0, 0, 0, fs1.IsConst(true), fp1.IsConst(false)},
 			{fs1, fp1, half, half, fs0.IsConst(false), fp0.IsConst(true)},
@@ -191,9 +272,7 @@ func searchSplit(fs, fp logic.TT, vars []int, emit func(perm []int, l, u int) bo
 			if b.fsRest.IsConst(false) || b.fpRest.IsConst(false) {
 				continue // suffix/prefix sets must stay non-empty
 			}
-			if !searchSplit(b.fsRest, b.fpRest, rest, func(perm []int, l, u int) bool {
-				return emit(prepend(vars[p], perm), l+b.lAdd, u+b.uAdd)
-			}) {
+			if !cx.split(b.fsRest, b.fpRest, rest, depth+1, lAcc+b.lAdd, uAcc+b.uAdd) {
 				return false
 			}
 		}
@@ -201,30 +280,31 @@ func searchSplit(fs, fp logic.TT, vars []int, emit func(perm []int, l, u int) bo
 	return true
 }
 
-// searchSuffix enumerates orders making f = {m : m >= L}, f not constant-0.
-func searchSuffix(f logic.TT, vars []int, emit func(perm []int, l int) bool) bool {
-	k := f.Vars()
+// suffix enumerates orders making f = {m : m >= L}, f not constant-0. The
+// final U is already fixed by the caller.
+func (cx *searchCtx) suffix(f logic.TT, rem []int, depth, lAcc, uFinal int) bool {
+	k := len(rem)
 	if f.IsConst(true) {
-		return emit(append([]int(nil), vars...), 0)
+		return cx.emitLeaf(rem, depth, lAcc, uFinal)
 	}
 	if k == 0 || f.IsConst(false) {
 		return true
 	}
+	fr := &cx.fr[depth]
+	f0, f1 := fr.t[0], fr.t[1]
 	for p := 0; p < k; p++ {
-		f0, f1 := f.Cofactor(p+1, false), f.Cofactor(p+1, true)
-		rest := restVars(vars, p)
+		f.CofactorKeepInto(f0, rem[p]+1, false)
+		f.CofactorKeepInto(f1, rem[p]+1, true)
+		rest := restInto(fr.rest[:0], rem, p)
 		half := 1 << (k - 1)
+		cx.perm[depth] = rem[p]
 		if f1.IsConst(true) && !f0.IsConst(false) {
-			if !searchSuffix(f0, rest, func(perm []int, l int) bool {
-				return emit(prepend(vars[p], perm), l)
-			}) {
+			if !cx.suffix(f0, rest, depth+1, lAcc, uFinal) {
 				return false
 			}
 		}
 		if f0.IsConst(false) && !f1.IsConst(false) {
-			if !searchSuffix(f1, rest, func(perm []int, l int) bool {
-				return emit(prepend(vars[p], perm), l+half)
-			}) {
+			if !cx.suffix(f1, rest, depth+1, lAcc+half, uFinal) {
 				return false
 			}
 		}
@@ -232,35 +312,42 @@ func searchSuffix(f logic.TT, vars []int, emit func(perm []int, l int) bool) boo
 	return true
 }
 
-// searchPrefix enumerates orders making f = {m : m <= U}, f not constant-0.
-func searchPrefix(f logic.TT, vars []int, emit func(perm []int, u int) bool) bool {
-	k := f.Vars()
+// prefix enumerates orders making f = {m : m <= U}, f not constant-0. The
+// final L is already fixed by the caller.
+func (cx *searchCtx) prefix(f logic.TT, rem []int, depth, lFinal, uAcc int) bool {
+	k := len(rem)
 	if f.IsConst(true) {
-		return emit(append([]int(nil), vars...), 1<<k-1)
+		return cx.emitLeaf(rem, depth, lFinal, uAcc+1<<k-1)
 	}
 	if k == 0 || f.IsConst(false) {
 		return true
 	}
+	fr := &cx.fr[depth]
+	f0, f1 := fr.t[0], fr.t[1]
 	for p := 0; p < k; p++ {
-		f0, f1 := f.Cofactor(p+1, false), f.Cofactor(p+1, true)
-		rest := restVars(vars, p)
+		f.CofactorKeepInto(f0, rem[p]+1, false)
+		f.CofactorKeepInto(f1, rem[p]+1, true)
+		rest := restInto(fr.rest[:0], rem, p)
 		half := 1 << (k - 1)
+		cx.perm[depth] = rem[p]
 		if f0.IsConst(true) && !f1.IsConst(false) {
-			if !searchPrefix(f1, rest, func(perm []int, u int) bool {
-				return emit(prepend(vars[p], perm), u+half)
-			}) {
+			if !cx.prefix(f1, rest, depth+1, lFinal, uAcc+half) {
 				return false
 			}
 		}
 		if f1.IsConst(false) && !f0.IsConst(false) {
-			if !searchPrefix(f0, rest, func(perm []int, u int) bool {
-				return emit(prepend(vars[p], perm), u)
-			}) {
+			if !cx.prefix(f0, rest, depth+1, lFinal, uAcc) {
 				return false
 			}
 		}
 	}
 	return true
+}
+
+// restInto writes rem minus slot p into dst (len 0, adequate capacity).
+func restInto(dst, rem []int, p int) []int {
+	dst = append(dst, rem[:p]...)
+	return append(dst, rem[p+1:]...)
 }
 
 func restVars(vars []int, p int) []int {
@@ -294,15 +381,18 @@ func identifySampling(f logic.TT, maxPerms int, rng *rand.Rand) (Spec, bool) {
 	for i := range perm {
 		perm[i] = i
 	}
+	// Permuted and negated tables reuse two scratch slots across all trials.
+	g, ng := logic.New(n), logic.New(n)
 	for t := 0; t < maxPerms; t++ {
 		if t > 0 {
 			rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
 		}
-		g := f.Permute(perm)
+		f.PermuteInto(g, perm)
 		if l, u, ok := g.IsInterval(); ok {
 			return Spec{N: n, Perm: append([]int(nil), perm...), L: l, U: u}, true
 		}
-		if l, u, ok := g.Not().IsInterval(); ok {
+		g.NotInto(ng)
+		if l, u, ok := ng.IsInterval(); ok {
 			return Spec{N: n, Perm: append([]int(nil), perm...), L: l, U: u, Complement: true}, true
 		}
 	}

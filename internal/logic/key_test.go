@@ -1,0 +1,126 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestKeyExactSmall: for n <= 6 the key embeds the table verbatim, so it is
+// collision-free by construction — verify on every 4-variable function.
+func TestKeyExactSmall(t *testing.T) {
+	seen := map[Key]uint64{}
+	for w := uint64(0); w < 1<<16; w++ {
+		f := New(4)
+		f.words[0] = w
+		k := f.Key()
+		if prev, ok := seen[k]; ok {
+			t.Fatalf("distinct 4-var tables %x and %x share key %v", prev, w, k)
+		}
+		seen[k] = w
+	}
+}
+
+// TestKeyWidthDisambiguation: equal bit patterns over different variable
+// counts must not collide. The old "%d:%x" string keys got this from the
+// width prefix; the struct key gets it from the N field.
+func TestKeyWidthDisambiguation(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		a := Const(n, true)
+		b := Const(n+1, true)
+		if n < 6 && a.words[0] == b.words[0] {
+			// Only n>=6 share raw words; smaller widths differ via mask.
+			continue
+		}
+		if a.Key() == b.Key() {
+			t.Fatalf("const-1 over %d and %d vars share a key", n, n+1)
+		}
+	}
+	// Explicit case: a 6-var all-ones word equals the first word of a 7-var
+	// table whose upper word is zero.
+	a := Const(6, true)
+	b := New(7)
+	b.words[0] = ^uint64(0)
+	if a.Key() == b.Key() {
+		t.Fatal("6-var and 7-var tables with equal leading words collide")
+	}
+}
+
+// TestKeyNoStructuredCollisions feeds families of structurally distinct
+// tables whose naive encodings are easy to confuse (permuted variables,
+// complemented halves, single-bit flips) and asserts all keys are distinct.
+func TestKeyNoStructuredCollisions(t *testing.T) {
+	seen := map[Key]string{}
+	add := func(f TT, label string) {
+		t.Helper()
+		k := f.Key()
+		if prev, ok := seen[k]; ok && prev != f.String() {
+			t.Fatalf("collision: %s (%s) vs stored %s", label, f.String(), prev)
+		}
+		seen[k] = f.String()
+	}
+	rng := rand.New(rand.NewSource(21))
+	for n := 7; n <= 9; n++ {
+		base := randTT(rng, n)
+		add(base, "base")
+		add(base.Not(), "not")
+		for i := 1; i <= n; i++ {
+			add(base.Xor(Var(n, i)), "xor-var")
+			perm := make([]int, n)
+			for j := range perm {
+				perm[j] = j
+			}
+			perm[0], perm[i-1] = perm[i-1], perm[0]
+			add(base.Permute(perm), "swap-perm")
+		}
+		for b := 0; b < 64; b++ {
+			g := base.Clone()
+			g.Set(b, !g.Get(b))
+			add(g, "bitflip")
+		}
+	}
+	if len(seen) < 200 {
+		t.Fatalf("expected a few hundred distinct keys, got %d", len(seen))
+	}
+}
+
+func TestKeySeedDeterministicAndSensitive(t *testing.T) {
+	f := randTT(rand.New(rand.NewSource(22)), 7)
+	k := f.Key()
+	if k.Seed(42) != k.Seed(42) {
+		t.Fatal("Seed not deterministic")
+	}
+	if k.Seed(42) == k.Seed(43) {
+		t.Fatal("Seed ignores base")
+	}
+	g := f.Not()
+	if g.Key().Seed(42) == k.Seed(42) {
+		t.Fatal("Seed ignores function")
+	}
+}
+
+// FuzzTTKey checks that the digest-backed keys of two differing wide tables
+// never collide on fuzz-discovered inputs, and that the key is a pure
+// function of the table contents.
+func FuzzTTKey(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(1), uint64(0))
+	f.Add(^uint64(0), uint64(0), uint64(0), ^uint64(0))
+	f.Add(uint64(0xAAAAAAAAAAAAAAAA), uint64(0x5555555555555555),
+		uint64(0x5555555555555555), uint64(0xAAAAAAAAAAAAAAAA))
+	f.Add(uint64(1)<<63, uint64(0), uint64(0), uint64(1))
+	f.Add(uint64(0x13B), uint64(0x13B), uint64(0x13B), uint64(0))
+	f.Fuzz(func(t *testing.T, a0, a1, b0, b1 uint64) {
+		a := New(7)
+		a.words[0], a.words[1] = a0, a1
+		b := New(7)
+		b.words[0], b.words[1] = b0, b1
+		if a.Equal(b) {
+			if a.Key() != b.Key() {
+				t.Fatal("equal tables, distinct keys")
+			}
+			return
+		}
+		if a.Key() == b.Key() {
+			t.Fatalf("distinct tables collide: %x,%x vs %x,%x", a0, a1, b0, b1)
+		}
+	})
+}

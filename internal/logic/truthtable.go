@@ -208,9 +208,25 @@ func (t TT) Equal(o TT) bool {
 	return true
 }
 
-// IsConst reports whether t is the constant function v.
+// IsConst reports whether t is the constant function v. It allocates
+// nothing: the check runs directly over the words (the search kernels call
+// it at every recursion step).
 func (t TT) IsConst(v bool) bool {
-	return t.Equal(Const(t.n, v))
+	if !v {
+		for _, w := range t.words {
+			if w != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	last := len(t.words) - 1
+	for _, w := range t.words[:last] {
+		if w != ^uint64(0) {
+			return false
+		}
+	}
+	return t.words[last] == t.mask()
 }
 
 // CountOnes returns the onset size |{m : f(m)=1}|.
@@ -312,9 +328,34 @@ func (t TT) Permute(perm []int) TT {
 	return r
 }
 
-// DependsOn reports whether f depends on variable x_i (1-based).
+// DependsOn reports whether f depends on variable x_i (1-based). The check
+// is word-parallel and allocation-free: the two cofactors differ iff some
+// minterm pair (x_i=0, x_i=1) disagrees.
 func (t TT) DependsOn(i int) bool {
-	return !t.Cofactor(i, false).Equal(t.Cofactor(i, true))
+	if i < 1 || i > t.n {
+		panic(fmt.Sprintf("logic: DependsOn variable %d out of range", i))
+	}
+	pos := t.n - i
+	if pos < 6 {
+		mask := varMask6[pos]
+		shift := uint(1) << uint(pos)
+		for _, w := range t.words {
+			if (w^(w>>shift))&^mask&t.mask() != 0 {
+				return true
+			}
+		}
+		return false
+	}
+	block := 1 << (pos - 6)
+	for j := range t.words {
+		if j&block != 0 {
+			continue
+		}
+		if t.words[j] != t.words[j|block] {
+			return true
+		}
+	}
+	return false
 }
 
 // Support returns the 1-based indices of variables f depends on.

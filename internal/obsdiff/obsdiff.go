@@ -30,13 +30,14 @@ import (
 type Options struct {
 	Tol       float64 // deterministic quantities: counters, gauges, circuit stats (default 0)
 	TolTime   float64 // wall-clock quantities: durations, span timings (default 0.5)
-	TolBench  float64 // benchmark ns/op and speedups (default 0.25)
+	TolBench  float64 // benchmark ns/op, B/op and speedups (default 0.25)
+	TolAlloc  float64 // benchmark allocs/op (default 0: a deterministic workload may only allocate less)
 	PerMetric map[string]float64
 }
 
 // DefaultOptions returns the tolerances described above.
 func DefaultOptions() Options {
-	return Options{Tol: 0, TolTime: 0.5, TolBench: 0.25}
+	return Options{Tol: 0, TolTime: 0.5, TolBench: 0.25, TolAlloc: 0}
 }
 
 func (o Options) tolFor(name string, def float64) float64 {
@@ -66,8 +67,9 @@ func directionOf(name string) direction {
 		}
 	}
 	for _, s := range []string{
-		"duration", "ns_per_op", "_ms", "remaining", "undetected",
-		"gates", "paths", "equiv2", "depth", "aborted", "aborts", "dropped",
+		"duration", "ns_per_op", "allocs", "bytes_per_op", "_ms", "remaining",
+		"undetected", "gates", "paths", "equiv2", "depth", "aborted", "aborts",
+		"dropped",
 	} {
 		if strings.Contains(name, s) {
 			return higherWorse
@@ -308,11 +310,15 @@ type BenchFile struct {
 	Speedups   []SpeedEntry `json:"speedups,omitempty"`
 }
 
-// BenchEntry is one benchmark measurement.
+// BenchEntry is one benchmark measurement. The allocation fields are
+// pointers because older baselines predate -benchmem: absent must stay
+// distinguishable from a measured zero.
 type BenchEntry struct {
-	Name    string  `json:"name"`
-	CPU     int     `json:"cpu"`
-	NsPerOp float64 `json:"ns_per_op"`
+	Name        string   `json:"name"`
+	CPU         int      `json:"cpu"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 }
 
 // SpeedEntry is one derived serial-over-parallel speedup.
@@ -322,44 +328,59 @@ type SpeedEntry struct {
 	Speedup float64 `json:"speedup"`
 }
 
-// DiffBench compares two benchmark baselines: ns/op per (name, cpu) against
-// TolBench (slower regresses), derived speedups against TolBench (lower
-// regresses), and benchmarks missing from the new baseline are regressions
-// outright.
+// benchQuantity is one measured value plus the default tolerance that
+// applies to its kind.
+type benchQuantity struct {
+	val float64
+	tol float64
+}
+
+func collectBench(into map[string]benchQuantity, f *BenchFile, opt Options) {
+	for _, b := range f.Benchmarks {
+		base := fmt.Sprintf("bench.%s/cpu=%d", b.Name, b.CPU)
+		into[base+".ns_per_op"] = benchQuantity{b.NsPerOp, opt.TolBench}
+		if b.AllocsPerOp != nil {
+			into[base+".allocs_per_op"] = benchQuantity{*b.AllocsPerOp, opt.TolAlloc}
+		}
+		if b.BytesPerOp != nil {
+			into[base+".bytes_per_op"] = benchQuantity{*b.BytesPerOp, opt.TolBench}
+		}
+	}
+	for _, s := range f.Speedups {
+		into[fmt.Sprintf("bench.%s/cpu=%d.speedup", s.Name, s.CPU)] = benchQuantity{s.Speedup, opt.TolBench}
+	}
+}
+
+// DiffBench compares two benchmark baselines: ns/op and B/op per
+// (name, cpu) against TolBench (slower/bigger regresses), allocs/op
+// against TolAlloc (more regresses), derived speedups against TolBench
+// (lower regresses). Quantities missing from the new baseline are
+// regressions outright — the gate lost coverage — while quantities new in
+// the after file (a benchmark just added, or allocation columns appearing
+// because the baseline predates -benchmem) are recorded as informational
+// "new" deltas, never regressions: there is nothing to compare against,
+// and diffing against an implicit zero would flag every addition.
 func DiffBench(before, after *BenchFile, opt Options) *Result {
 	r := &Result{Kind: "bench"}
-	bn, an := map[string]float64{}, map[string]float64{}
-	for _, b := range before.Benchmarks {
-		bn[fmt.Sprintf("bench.%s/cpu=%d.ns_per_op", b.Name, b.CPU)] = b.NsPerOp
-	}
-	for _, a := range after.Benchmarks {
-		an[fmt.Sprintf("bench.%s/cpu=%d.ns_per_op", a.Name, a.CPU)] = a.NsPerOp
-	}
+	bn, an := map[string]benchQuantity{}, map[string]benchQuantity{}
+	collectBench(bn, before, opt)
+	collectBench(an, after, opt)
 	for _, name := range unionKeys(bn, an) {
 		b, inB := bn[name]
 		a, inA := an[name]
-		if inB && !inA {
+		switch {
+		case inB && !inA:
 			r.Deltas = append(r.Deltas, Delta{
-				Name: name, Before: b, Rel: -1, Tol: opt.tolFor(name, opt.TolBench),
+				Name: name, Before: b.val, Rel: -1, Tol: opt.tolFor(name, b.tol),
 				Regression: true, Note: "missing after",
 			})
-			continue
+		case !inB && inA:
+			r.Deltas = append(r.Deltas, Delta{
+				Name: name, After: a.val, Tol: opt.tolFor(name, a.tol), Note: "new",
+			})
+		default:
+			r.add(opt, name, b.val, a.val, b.tol)
 		}
-		r.add(opt, name, b, a, opt.TolBench)
-		markMissing(r, inB, inA)
-	}
-	bs, as := map[string]float64{}, map[string]float64{}
-	for _, s := range before.Speedups {
-		bs[fmt.Sprintf("bench.%s/cpu=%d.speedup", s.Name, s.CPU)] = s.Speedup
-	}
-	for _, s := range after.Speedups {
-		as[fmt.Sprintf("bench.%s/cpu=%d.speedup", s.Name, s.CPU)] = s.Speedup
-	}
-	for _, name := range unionKeys(bs, as) {
-		b, inB := bs[name]
-		a, inA := as[name]
-		r.add(opt, name, b, a, opt.TolBench)
-		markMissing(r, inB, inA)
 	}
 	r.sortDeltas()
 	return r

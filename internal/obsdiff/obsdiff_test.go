@@ -248,3 +248,69 @@ func readFile(t *testing.T, path string) string {
 	}
 	return string(raw)
 }
+
+func fp(v float64) *float64 { return &v }
+
+// TestDiffBenchAllocs pins the allocation gate: allocs/op may only fall
+// (TolAlloc defaults to 0), B/op rides the bench tolerance, and allocation
+// columns appearing in the after file only (the baseline predates
+// -benchmem) are informational, not regressions.
+func TestDiffBenchAllocs(t *testing.T) {
+	before := &BenchFile{Benchmarks: []BenchEntry{
+		{Name: "BenchmarkResynth", CPU: 1, NsPerOp: 100, BytesPerOp: fp(4096), AllocsPerOp: fp(50)},
+	}}
+
+	// One extra alloc/op regresses even though it is <25%.
+	worse := &BenchFile{Benchmarks: []BenchEntry{
+		{Name: "BenchmarkResynth", CPU: 1, NsPerOp: 100, BytesPerOp: fp(4096), AllocsPerOp: fp(51)},
+	}}
+	regs := DiffBench(before, worse, DefaultOptions()).Regressions()
+	if len(regs) != 1 || regs[0].Name != "bench.BenchmarkResynth/cpu=1.allocs_per_op" {
+		t.Fatalf("alloc growth not caught: %v", names(regs))
+	}
+
+	// Fewer allocations and bytes are an improvement, never a regression.
+	betterFile := &BenchFile{Benchmarks: []BenchEntry{
+		{Name: "BenchmarkResynth", CPU: 1, NsPerOp: 100, BytesPerOp: fp(1024), AllocsPerOp: fp(10)},
+	}}
+	if regs := DiffBench(before, betterFile, DefaultOptions()).Regressions(); len(regs) != 0 {
+		t.Fatalf("reduced allocations regressed: %v", names(regs))
+	}
+
+	// Allocation columns vanishing from the new baseline lose gate coverage.
+	stripped := &BenchFile{Benchmarks: []BenchEntry{
+		{Name: "BenchmarkResynth", CPU: 1, NsPerOp: 100},
+	}}
+	regs = DiffBench(before, stripped, DefaultOptions()).Regressions()
+	if len(regs) != 2 {
+		t.Fatalf("vanished alloc columns not flagged: %v", names(regs))
+	}
+}
+
+// TestDiffBenchNewEntries pins that quantities present only in the after
+// file — a newly added benchmark, or allocation columns measured for the
+// first time — are recorded as "new" without tripping the gate (the old
+// behavior diffed them against an implicit zero, making every addition an
+// infinite regression).
+func TestDiffBenchNewEntries(t *testing.T) {
+	before := &BenchFile{Benchmarks: []BenchEntry{
+		{Name: "BenchmarkSim", CPU: 1, NsPerOp: 100},
+	}}
+	after := &BenchFile{Benchmarks: []BenchEntry{
+		{Name: "BenchmarkSim", CPU: 1, NsPerOp: 100, BytesPerOp: fp(2048), AllocsPerOp: fp(7)},
+		{Name: "BenchmarkFresh", CPU: 1, NsPerOp: 999, BytesPerOp: fp(10), AllocsPerOp: fp(1)},
+	}}
+	res := DiffBench(before, after, DefaultOptions())
+	if regs := res.Regressions(); len(regs) != 0 {
+		t.Fatalf("new benchmark/measurements regressed: %v", names(regs))
+	}
+	newNotes := 0
+	for _, d := range res.Deltas {
+		if d.Note == "new" {
+			newNotes++
+		}
+	}
+	if newNotes != 5 {
+		t.Fatalf("want 5 deltas noted 'new', got %d: %+v", newNotes, res.Deltas)
+	}
+}

@@ -7,37 +7,42 @@ import (
 
 const cacheShards = 32
 
-// Cache is a sharded, concurrency-safe string-keyed memoization map. It is
-// intended for caching pure functions: concurrent writers racing on the
-// same key must be storing equal values, and whichever lands is kept. That
-// keeps lookups deterministic without cross-shard coordination.
-type Cache[V any] struct {
+// Cache is a sharded, concurrency-safe memoization map over any comparable
+// key type. It is intended for caching pure functions: concurrent writers
+// racing on the same key must be storing equal values, and whichever lands
+// is kept. That keeps lookups deterministic without cross-shard
+// coordination.
+//
+// Keys are hashed with maphash.Comparable, so fixed-size struct keys (e.g.
+// logic.Key, digest.D) shard without allocating — the reason the hot
+// identification caches stopped keying on strings.
+type Cache[K comparable, V any] struct {
 	shards [cacheShards]struct {
 		mu sync.RWMutex
-		m  map[string]V
+		m  map[K]V
 	}
 }
 
 var cacheHashSeed = maphash.MakeSeed()
 
 // NewCache returns an empty cache.
-func NewCache[V any]() *Cache[V] {
-	c := &Cache[V]{}
+func NewCache[K comparable, V any]() *Cache[K, V] {
+	c := &Cache[K, V]{}
 	for i := range c.shards {
-		c.shards[i].m = make(map[string]V)
+		c.shards[i].m = make(map[K]V)
 	}
 	return c
 }
 
-func (c *Cache[V]) shard(key string) *struct {
+func (c *Cache[K, V]) shard(key K) *struct {
 	mu sync.RWMutex
-	m  map[string]V
+	m  map[K]V
 } {
-	return &c.shards[maphash.String(cacheHashSeed, key)%cacheShards]
+	return &c.shards[maphash.Comparable(cacheHashSeed, key)%cacheShards]
 }
 
 // Get returns the cached value for key.
-func (c *Cache[V]) Get(key string) (V, bool) {
+func (c *Cache[K, V]) Get(key K) (V, bool) {
 	s := c.shard(key)
 	s.mu.RLock()
 	v, ok := s.m[key]
@@ -46,7 +51,7 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 }
 
 // Set stores v under key.
-func (c *Cache[V]) Set(key string, v V) {
+func (c *Cache[K, V]) Set(key K, v V) {
 	s := c.shard(key)
 	s.mu.Lock()
 	s.m[key] = v
@@ -54,7 +59,7 @@ func (c *Cache[V]) Set(key string, v V) {
 }
 
 // Len returns the number of cached entries.
-func (c *Cache[V]) Len() int {
+func (c *Cache[K, V]) Len() int {
 	n := 0
 	for i := range c.shards {
 		c.shards[i].mu.RLock()

@@ -25,27 +25,41 @@ func Labels(c *circuit.Circuit) (np []uint64, ok bool) {
 	np = make([]uint64, len(c.Nodes))
 	ok = true
 	for _, id := range c.Topo() {
-		nd := c.Nodes[id]
-		switch nd.Type {
-		case circuit.Input:
-			np[id] = 1
-		case circuit.Const0, circuit.Const1:
-			// A constant originates no paths.
-			np[id] = 0
-		default:
-			var sum uint64
-			for _, f := range nd.Fanin {
-				s := sum + np[f]
-				if s < sum {
-					ok = false
-					s = ^uint64(0)
-				}
-				sum = s
-			}
-			np[id] = sum
-		}
+		v, nodeOK := LabelNode(c, np, id)
+		np[id] = v
+		ok = ok && nodeOK
 	}
 	return np, ok
+}
+
+// LabelNode computes N_p for a single node from the labels of its fanins
+// (which must be up to date in np) and reports whether the label stayed in
+// range (false = saturated to MaxUint64). It is the per-node step of Labels,
+// exposed so incremental recomputation after a local rewiring can relabel
+// just the affected cone: a node's label is a pure function of its fanin
+// cone, so relabeling any superset of the changed cone in topological order
+// reproduces exactly what a full Labels pass would compute.
+func LabelNode(c *circuit.Circuit, np []uint64, id int) (uint64, bool) {
+	nd := c.Nodes[id]
+	switch nd.Type {
+	case circuit.Input:
+		return 1, true
+	case circuit.Const0, circuit.Const1:
+		// A constant originates no paths.
+		return 0, true
+	default:
+		var sum uint64
+		ok := true
+		for _, f := range nd.Fanin {
+			s := sum + np[f]
+			if s < sum {
+				ok = false
+				s = ^uint64(0)
+			}
+			sum = s
+		}
+		return sum, ok
+	}
 }
 
 // Count returns the total number of PI-to-PO paths.

@@ -1,0 +1,62 @@
+package resynth
+
+import (
+	"testing"
+
+	"compsynth/internal/gen"
+	"compsynth/internal/logic"
+	"compsynth/internal/par"
+	"compsynth/internal/subckt"
+)
+
+// Warm-path allocation pins: a repeated candidate must cost nothing beyond
+// the cache lookup. Both the extraction cache (subckt.Key) and the
+// identification caches (logic.Key) use fixed-size comparable keys, so a
+// hit allocates nothing — these tests keep it that way.
+
+func warmOptimizer(t *testing.T) (*optimizer, *subckt.Subcircuit, logic.TT) {
+	t.Helper()
+	c := gen.SmallSuite()[0].Build()
+	c.Simplify()
+	o := &optimizer{
+		opt:      DefaultOptions(),
+		cache:    par.NewCache[logic.Key, cachedSpec](),
+		extracts: par.NewCache[subckt.Key, extracted](),
+	}
+	o.rebuildFull(c)
+	var sub *subckt.Subcircuit
+	for i := len(o.topo) - 1; i >= 0 && sub == nil; i-- {
+		for _, s := range o.db.EnumerateFromCuts(c, o.topo[i]) {
+			if len(s.Gates) > 1 {
+				sub = s
+				break
+			}
+		}
+	}
+	if sub == nil {
+		t.Fatal("no multi-gate candidate in the warm-up circuit")
+	}
+	ex := o.extractTT(c, sub) // warm both caches
+	o.identify(ex.stt)
+	return o, sub, ex.stt
+}
+
+func TestExtractCacheHitZeroAlloc(t *testing.T) {
+	o, sub, _ := warmOptimizer(t)
+	c := gen.SmallSuite()[0].Build() // extract reads the circuit only on a miss
+	c.Simplify()
+	if n := testing.AllocsPerRun(200, func() {
+		o.extractTT(c, sub)
+	}); n != 0 {
+		t.Fatalf("warm extractTT allocates %v times per call, want 0", n)
+	}
+}
+
+func TestIdentifyCacheHitZeroAlloc(t *testing.T) {
+	o, _, stt := warmOptimizer(t)
+	if n := testing.AllocsPerRun(200, func() {
+		o.identify(stt)
+	}); n != 0 {
+		t.Fatalf("warm identify allocates %v times per call, want 0", n)
+	}
+}

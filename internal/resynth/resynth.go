@@ -15,15 +15,28 @@
 // bit-identical for every worker count. Sampling-mode identification seeds
 // its RNG per truth table (derived from Options.Seed), never from a shared
 // stream, so it too is independent of visit order and worker count.
+//
+// Incremental pass state: each pass needs K-feasible cuts, path labels,
+// levels and (in SDC mode) exhaustive-simulation values for every node. A
+// replacement only invalidates the transitive fanout cone of the rewired
+// nodes — every one of these quantities is a pure function of a node's
+// fanin cone — so between passes the optimizer recomputes exactly the
+// dirty cone reported by the circuit's edit journal instead of rebuilding
+// from scratch. The sweep order is the canonical topological order
+// (level, id), which is identical whether the state was refreshed
+// incrementally or rebuilt in full, so both paths produce bit-identical
+// circuits (TestIncrementalMatchesFull pins this).
 package resynth
 
 import (
 	"encoding/json"
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"compsynth/internal/circuit"
 	"compsynth/internal/compare"
+	"compsynth/internal/digest"
 	"compsynth/internal/logic"
 	"compsynth/internal/obs"
 	"compsynth/internal/par"
@@ -39,6 +52,7 @@ var (
 	mPasses       = obs.C("resynth.passes")
 	mCacheHits    = obs.C("resynth.identify_cache_hits")
 	mExtractHits  = obs.C("resynth.extract_cache_hits")
+	mDirty        = obs.C("resynth.dirty_nodes")
 	hCandInputs   = obs.H("resynth.candidate_inputs")
 	gPass         = obs.G("resynth.pass")
 )
@@ -108,6 +122,11 @@ type Options struct {
 	// Tracer records per-pass spans when non-nil; nil (the default) keeps
 	// the zero-overhead fast path.
 	Tracer *obs.Tracer
+
+	// forceFull disables the incremental between-pass refresh, rebuilding
+	// every pass's derived state from scratch. Test-only: the determinism
+	// test proves incremental and full runs are bit-identical.
+	forceFull bool
 }
 
 // DefaultOptions returns the paper's experimental configuration (K=5).
@@ -182,24 +201,31 @@ func Optimize(c *circuit.Circuit, opt Options) (*Result, error) {
 	o := &optimizer{
 		opt:        opt,
 		workers:    par.Workers(opt.Workers),
-		cache:      par.NewCache[cachedSpec](),
-		multiCache: par.NewCache[cachedMulti](),
-		dcCache:    par.NewCache[cachedSpec](),
-		allCache:   par.NewCache[[]compare.Spec](),
+		cache:      par.NewCache[logic.Key, cachedSpec](),
+		multiCache: par.NewCache[logic.Key, cachedMulti](),
+		dcCache:    par.NewCache[dcKey, cachedSpec](),
+		allCache:   par.NewCache[logic.Key, []compare.Spec](),
 	}
 	sp.SetInt("workers", int64(o.workers))
+	// The journal records which nodes each pass's rewrites and the
+	// follow-up Simplify touch, so the next pass refreshes only that cone.
+	// Node IDs therefore must stay stable across passes: compaction happens
+	// once, after the fixpoint.
+	work.BeginJournal()
 	for pass := 0; pass < opt.MaxPasses; pass++ {
 		gPass.Set(int64(pass + 1))
 		obs.EmitProgress("resynth.pass", int64(pass+1), int64(opt.MaxPasses))
 		psp := opt.Tracer.StartSpan("resynth.pass")
 		psp.SetInt("pass", int64(pass))
-		before := work.Clone()
+		var before *circuit.Circuit
+		if opt.Verify {
+			before = work.Clone()
+		}
 		n := o.pass(work)
 		mPasses.Inc()
 		res.Passes++
 		res.Replacements += n
 		work.Simplify()
-		work, _ = work.Compact()
 		if opt.Verify {
 			vsp := opt.Tracer.StartSpan("resynth.verify")
 			ok := simulate.EquivalentRandom(before, work, 32, 14, opt.Seed+int64(pass))
@@ -215,6 +241,8 @@ func Optimize(c *circuit.Circuit, opt Options) (*Result, error) {
 			break
 		}
 	}
+	work.EndJournal()
+	work, _ = work.Compact()
 	work.PreservePONames(poNames)
 	res.Circuit = work
 	res.GatesAfter = work.Equiv2Count()
@@ -232,6 +260,21 @@ type cachedMulti struct {
 	ok   bool
 }
 
+// dcKey identifies one don't-care identification query: the function and
+// the care set.
+type dcKey struct {
+	f, care logic.Key
+}
+
+// extracted memoizes one candidate's extraction AND its support reduction:
+// cuts repeat across the fanout of shared logic, so a cache hit skips both
+// the simulation and the Shrink. kept is shared — callers must not mutate.
+type extracted struct {
+	tt   logic.TT // function over sub.Inputs
+	stt  logic.TT // support-reduced table
+	kept []int    // 1-based indices of retained inputs, in order
+}
+
 // optimizer carries the per-run state. The identification caches persist
 // across passes (they are keyed by the candidate's function, which is
 // circuit-independent); the extraction cache is rebuilt per pass because
@@ -241,16 +284,32 @@ type cachedMulti struct {
 type optimizer struct {
 	opt        Options
 	workers    int
-	cache      *par.Cache[cachedSpec]
-	multiCache *par.Cache[cachedMulti]
-	dcCache    *par.Cache[cachedSpec]
-	allCache   *par.Cache[[]compare.Spec]
-	extracts   *par.Cache[logic.TT]
+	cache      *par.Cache[logic.Key, cachedSpec]
+	multiCache *par.Cache[logic.Key, cachedMulti]
+	dcCache    *par.Cache[dcKey, cachedSpec]
+	allCache   *par.Cache[logic.Key, []compare.Spec]
+	extracts   *par.Cache[subckt.Key, extracted]
 	db         *subckt.CutDB
 
-	// SDC state, rebuilt per pass when enabled.
-	valbits   map[int][]uint64 // node -> value over all 2^nPI patterns
-	careCache *par.Cache[logic.TT]
+	// Incremental per-pass state. Every field below is a per-node pure
+	// function of that node's fanin cone, so after a pass only the dirty
+	// cone (journal-touched nodes plus their transitive fanout) needs
+	// recomputation; everything else is reused verbatim. stateOK gates the
+	// first pass onto the full-rebuild path.
+	stateOK bool
+	levels  []int
+	topo    []int // live nodes in canonical topological order: (level, id)
+	np      []uint64
+	npOver  []bool // per-node label saturation, so npOK survives node death
+	npOK    bool
+
+	// SDC state: per-node value over all 2^nPI patterns (nil when the mode
+	// is off or out of range).
+	valbits   [][]uint64
+	nPI       int
+	careCache *par.Cache[digest.D, logic.TT]
+
+	scratch []int // reused worklist for the dirty-cone closure
 }
 
 // rngFor derives the RNG for one sampling-style identification call.
@@ -259,35 +318,34 @@ type optimizer struct {
 // order, of the interleaving of other identifications, and of which worker
 // performs it — which is what keeps sampling mode deterministic under the
 // concurrent prefetch (and fixes the historical shared-RNG coupling).
-func (o *optimizer) rngFor(key string) *rand.Rand {
-	return rand.New(rand.NewSource(par.SeedFor(o.opt.Seed, key)))
-}
-
-func ttKey(tt logic.TT) string {
-	return fmt.Sprintf("%d:%x", tt.Vars(), tt.Words())
+func (o *optimizer) rngFor(k logic.Key) *rand.Rand {
+	return rand.New(rand.NewSource(k.Seed(o.opt.Seed)))
 }
 
 // pass performs one output-to-input sweep and returns the replacement count.
 func (o *optimizer) pass(c *circuit.Circuit) int {
+	touched := c.TakeJournal()
 	csp := o.opt.Tracer.StartSpan("resynth.cuts")
-	o.db = subckt.ComputeCuts(c, o.opt.K, o.opt.MaxCandidates)
-	csp.End()
-	o.extracts = par.NewCache[logic.TT]() // node IDs are only stable within one pass
-	if o.opt.UseSDC {
-		ssp := o.opt.Tracer.StartSpan("resynth.sdc")
-		o.prepareSDC(c)
-		ssp.End()
+	if !o.stateOK || touched == nil || o.opt.forceFull {
+		o.rebuildFull(c)
 	} else {
-		o.prepareSDC(c)
+		o.refresh(c, touched)
 	}
-	np, npOK := paths.Labels(c)
-	topo := c.Topo()
+	csp.End()
+	o.extracts = par.NewCache[subckt.Key, extracted]() // node IDs are only stable within one pass
+	topo := o.topo
 	if o.workers > 1 {
 		o.prefetch(c, topo)
 	}
-	marked := make(map[int]bool)
+	marked := make([]bool, len(c.Nodes))
+	mark := func(id int) {
+		for id >= len(marked) {
+			marked = append(marked, false)
+		}
+		marked[id] = true
+	}
 	for _, out := range c.Outputs {
-		marked[out] = true
+		mark(out)
 	}
 	replaced := 0
 	for i := len(topo) - 1; i >= 0; i-- {
@@ -299,7 +357,7 @@ func (o *optimizer) pass(c *circuit.Circuit) int {
 		if nd.Type == circuit.Input || nd.Type == circuit.Const0 || nd.Type == circuit.Const1 {
 			continue
 		}
-		best := o.selectReplacement(c, g, np, npOK)
+		best := o.selectReplacement(c, g)
 		// Cumulative candidate progress for the flight recorder (the sink
 		// throttles; the off path is one atomic load).
 		obs.EmitProgress("resynth.candidates", mCandidates.Value(), 0)
@@ -308,15 +366,174 @@ func (o *optimizer) pass(c *circuit.Circuit) int {
 			mReplacements.Inc()
 			replaced++
 			for _, in := range best.sub.Inputs {
-				marked[in] = true
+				mark(in)
 			}
 		} else {
 			for _, f := range nd.Fanin {
-				marked[f] = true
+				mark(f)
 			}
 		}
 	}
 	return replaced
+}
+
+// sortTopo orders o.topo by (level, id). Levels increase along every edge,
+// so this is a topological order — and unlike a worklist order it is a pure
+// function of the circuit, identical whether levels were computed from
+// scratch or refreshed incrementally.
+func (o *optimizer) sortTopo() {
+	lv := o.levels
+	t := o.topo
+	sort.Slice(t, func(i, j int) bool {
+		if lv[t[i]] != lv[t[j]] {
+			return lv[t[i]] < lv[t[j]]
+		}
+		return t[i] < t[j]
+	})
+}
+
+func (o *optimizer) collectLive(c *circuit.Circuit) {
+	o.topo = o.topo[:0]
+	for id := 0; id < len(c.Nodes); id++ {
+		if c.Alive(id) {
+			o.topo = append(o.topo, id)
+		}
+	}
+}
+
+// rebuildFull computes every piece of per-pass state from scratch.
+func (o *optimizer) rebuildFull(c *circuit.Circuit) {
+	n := len(c.Nodes)
+	o.levels = append(o.levels[:0], c.Levels()...)
+	o.collectLive(c)
+	o.sortTopo()
+	o.db = subckt.NewCutDB(c, o.opt.K, o.opt.MaxCandidates)
+	o.np = growU64(o.np[:0], n)
+	o.npOver = growBool(o.npOver[:0], n)
+	for _, id := range o.topo {
+		o.db.ComputeNode(c, id)
+		v, ok := paths.LabelNode(c, o.np, id)
+		o.np[id] = v
+		o.npOver[id] = !ok
+	}
+	o.recomputeNpOK()
+	o.rebuildSDC(c)
+	o.stateOK = true
+}
+
+// refresh recomputes state for the dirty cone only: the journal-touched
+// nodes plus their transitive fanout. Everything outside the cone is a pure
+// function of an unchanged fanin cone, so its stored value already equals
+// what a full rebuild would produce.
+func (o *optimizer) refresh(c *circuit.Circuit, touched map[int]bool) {
+	c.RebuildFanouts()
+	n := len(c.Nodes)
+	o.levels = growInts(o.levels, n)
+	o.np = growU64(o.np, n)
+	o.npOver = growBool(o.npOver, n)
+	if o.valbits != nil {
+		for len(o.valbits) < n {
+			o.valbits = append(o.valbits, nil)
+		}
+	}
+
+	// Dirty closure over fanouts.
+	dirty := make([]bool, n)
+	stack := o.scratch[:0]
+	for id := range touched {
+		if id < n && !dirty[id] {
+			stack = append(stack, id)
+		}
+	}
+	count := int64(0)
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if dirty[id] {
+			continue
+		}
+		dirty[id] = true
+		count++
+		for _, f := range c.Fanouts(id) {
+			if !dirty[f] {
+				stack = append(stack, f)
+			}
+		}
+	}
+	o.scratch = stack[:0]
+	mDirty.Add(count)
+
+	// Levels of dirty nodes, in dependency order via DFS (clean fanins keep
+	// their stored level).
+	done := make([]bool, n)
+	var lvl func(id int) int
+	lvl = func(id int) int {
+		if !dirty[id] || done[id] {
+			return o.levels[id]
+		}
+		done[id] = true
+		nd := c.Nodes[id]
+		m := -1
+		for _, f := range nd.Fanin {
+			if l := lvl(f); l > m {
+				m = l
+			}
+		}
+		o.levels[id] = m + 1
+		return m + 1
+	}
+	for id := 0; id < n; id++ {
+		if dirty[id] && c.Alive(id) {
+			lvl(id)
+		}
+	}
+
+	o.collectLive(c)
+	o.sortTopo()
+
+	o.db.Grow(c)
+	for _, id := range o.topo {
+		if !dirty[id] {
+			continue
+		}
+		o.db.ComputeNode(c, id)
+		v, ok := paths.LabelNode(c, o.np, id)
+		o.np[id] = v
+		o.npOver[id] = !ok
+	}
+	o.recomputeNpOK()
+	o.refreshSDC(c, dirty)
+}
+
+func (o *optimizer) recomputeNpOK() {
+	o.npOK = true
+	for _, id := range o.topo {
+		if o.npOver[id] {
+			o.npOK = false
+			break
+		}
+	}
+}
+
+func growInts(s []int, n int) []int {
+	for len(s) < n {
+		s = append(s, 0)
+	}
+	return s
+}
+
+func growU64(s []uint64, n int) []uint64 {
+	for len(s) < n {
+		s = append(s, 0)
+	}
+	return s
+}
+
+func growBool(s []bool, n int) []bool {
+	for len(s) < n {
+		s = append(s, false)
+	}
+	return s
 }
 
 // prefetch warms the extraction and identification caches for every gate of
@@ -325,7 +542,7 @@ func (o *optimizer) pass(c *circuit.Circuit) int {
 // candidate whose function only arises after a mid-sweep mutation simply
 // misses the cache and is computed inline. The prefetch reads the circuit
 // but never mutates it (structural caches — topo, fanouts — were built by
-// ComputeCuts above).
+// the state rebuild above).
 func (o *optimizer) prefetch(c *circuit.Circuit, topo []int) {
 	ids := make([]int, 0, len(topo))
 	for i := len(topo) - 1; i >= 0; i-- {
@@ -346,30 +563,29 @@ func (o *optimizer) prefetch(c *circuit.Circuit, topo []int) {
 // cost accounting that stays serial.
 func (o *optimizer) prefetchGate(c *circuit.Circuit, g int) {
 	for _, sub := range o.db.EnumerateFromCuts(c, g) {
-		tt := o.extractTT(c, sub)
-		stt, kept := tt.Shrink()
-		if stt.Vars() == 0 {
+		ex := o.extractTT(c, sub)
+		if ex.stt.Vars() == 0 {
 			continue
 		}
-		_, ok := o.identify(stt)
+		_, ok := o.identify(ex.stt)
 		if !ok && o.valbits != nil {
-			keep := make([]int, len(kept))
-			for j, v := range kept {
+			keep := make([]int, len(ex.kept))
+			for j, v := range ex.kept {
 				keep[j] = sub.Inputs[v-1]
 			}
 			care := o.careSet(keep)
 			if !care.IsConst(true) {
-				_, ok = o.identifyDC(stt, care)
+				_, ok = o.identifyDC(ex.stt, care)
 			}
 		}
 		if !ok && o.opt.MaxUnits > 1 {
-			_, ok = o.identifyMulti(stt)
+			_, ok = o.identifyMulti(ex.stt)
 		}
 		if !ok {
 			continue
 		}
 		if o.opt.MaxSpecs > 1 && !o.opt.UseSampling {
-			o.identifyAll(stt)
+			o.identifyAll(ex.stt)
 		}
 	}
 }
@@ -385,8 +601,9 @@ type candidate struct {
 
 // selectReplacement evaluates all candidates for gate output g and returns
 // the chosen replacement, or nil to keep the existing logic.
-func (o *optimizer) selectReplacement(c *circuit.Circuit, g int, np []uint64, npOK bool) *candidate {
+func (o *optimizer) selectReplacement(c *circuit.Circuit, g int) *candidate {
 	subs := o.db.EnumerateFromCuts(c, g)
+	np, npOK := o.np, o.npOK
 	oldPathsOnG := np[g]
 	var best *candidate
 	better := func(a, b *candidate) bool { // is a better than b?
@@ -410,13 +627,13 @@ func (o *optimizer) selectReplacement(c *circuit.Circuit, g int, np []uint64, np
 	for _, sub := range subs {
 		mCandidates.Inc()
 		hCandInputs.Observe(float64(len(sub.Inputs)))
-		tt := o.extractTT(c, sub)
-		// Drop inputs the function does not depend on: they contribute no
-		// logic and their paths disappear entirely.
-		stt, kept := tt.Shrink()
-		if stt.Vars() == 0 {
+		// Extraction drops inputs the function does not depend on: they
+		// contribute no logic and their paths disappear entirely.
+		ex := o.extractTT(c, sub)
+		if ex.stt.Vars() == 0 {
 			continue // constant function: left to Simplify
 		}
+		stt, kept := ex.stt, ex.kept
 		var spec compare.Realization
 		single, ok := o.identify(stt)
 		spec = single
@@ -492,23 +709,26 @@ func (o *optimizer) selectReplacement(c *circuit.Circuit, g int, np []uint64, np
 	return nil
 }
 
-// extractTT memoizes Subcircuit.Extract per pass: cuts repeat across the
-// fanout of shared logic, and the prefetch phase plus the serial sweep
-// visit every repeated cut at least twice.
-func (o *optimizer) extractTT(c *circuit.Circuit, sub *subckt.Subcircuit) logic.TT {
+// extractTT memoizes Subcircuit.Extract (and the follow-up support
+// reduction) per pass: cuts repeat across the fanout of shared logic, and
+// the prefetch phase plus the serial sweep visit every repeated cut at
+// least twice. A warm hit performs no allocation.
+func (o *optimizer) extractTT(c *circuit.Circuit, sub *subckt.Subcircuit) extracted {
 	key := sub.Key()
-	if tt, ok := o.extracts.Get(key); ok {
+	if ex, ok := o.extracts.Get(key); ok {
 		mExtractHits.Inc()
-		return tt
+		return ex
 	}
 	tt := sub.Extract(c)
-	o.extracts.Set(key, tt)
-	return tt
+	stt, kept := tt.Shrink()
+	ex := extracted{tt: tt, stt: stt, kept: kept}
+	o.extracts.Set(key, ex)
+	return ex
 }
 
-// prepareSDC precomputes every node's value over the full primary-input
+// rebuildSDC precomputes every node's value over the full primary-input
 // space (64 patterns per word) when the SDC mode is engaged.
-func (o *optimizer) prepareSDC(c *circuit.Circuit) {
+func (o *optimizer) rebuildSDC(c *circuit.Circuit) {
 	o.valbits = nil
 	o.careCache = nil
 	nPI := len(c.Inputs)
@@ -519,57 +739,106 @@ func (o *optimizer) prepareSDC(c *circuit.Circuit) {
 	if !o.opt.UseSDC || nPI > max || nPI >= 30 {
 		return
 	}
-	total := 1 << nPI
-	words := (total + 63) / 64
-	o.valbits = make(map[int][]uint64, c.NumLive())
-	o.careCache = par.NewCache[logic.TT]()
-	sim := simulate.New(c)
-	for w := 0; w < words; w++ {
-		for j := 0; j < nPI; j++ {
-			var word uint64
-			for b := 0; b < 64; b++ {
-				if (uint64(w*64+b)>>uint(j))&1 == 1 {
-					word |= 1 << b
-				}
-			}
-			sim.SetInput(j, word)
-		}
-		sim.Run()
-		for _, id := range c.Topo() {
-			if o.valbits[id] == nil {
-				o.valbits[id] = make([]uint64, words)
-			}
-			o.valbits[id][w] = sim.Words[id]
-		}
+	ssp := o.opt.Tracer.StartSpan("resynth.sdc")
+	defer ssp.End()
+	o.nPI = nPI
+	words := ((1 << nPI) + 63) / 64
+	o.valbits = make([][]uint64, len(c.Nodes))
+	for j, id := range c.Inputs {
+		o.valbits[id] = inputRow(j, words)
 	}
+	buf := make([]uint64, 0, 8)
+	for _, id := range o.topo {
+		if c.Nodes[id].Type == circuit.Input {
+			continue
+		}
+		o.valbits[id] = o.evalRow(c, id, words, &buf)
+	}
+	o.careCache = par.NewCache[digest.D, logic.TT]()
+}
+
+// refreshSDC re-simulates only the dirty cone; clean rows are values of
+// unchanged fanin cones and stay valid. The care cache restarts because its
+// entries project rows that may have changed.
+func (o *optimizer) refreshSDC(c *circuit.Circuit, dirty []bool) {
+	if o.valbits == nil {
+		return // mode off or out of range; PI count never changes mid-run
+	}
+	ssp := o.opt.Tracer.StartSpan("resynth.sdc")
+	defer ssp.End()
+	words := ((1 << o.nPI) + 63) / 64
+	buf := make([]uint64, 0, 8)
+	for _, id := range o.topo {
+		if !dirty[id] || c.Nodes[id].Type == circuit.Input {
+			continue
+		}
+		o.valbits[id] = o.evalRow(c, id, words, &buf)
+	}
+	o.careCache = par.NewCache[digest.D, logic.TT]()
+}
+
+// inputRow is primary input j's value over all patterns: bit p = bit j of p.
+func inputRow(j, words int) []uint64 {
+	row := make([]uint64, words)
+	for w := range row {
+		var word uint64
+		for b := 0; b < 64; b++ {
+			if (uint64(w*64+b)>>uint(j))&1 == 1 {
+				word |= 1 << b
+			}
+		}
+		row[w] = word
+	}
+	return row
+}
+
+// evalRow computes one gate's full-space value row from its fanins' rows.
+func (o *optimizer) evalRow(c *circuit.Circuit, id, words int, buf *[]uint64) []uint64 {
+	nd := c.Nodes[id]
+	row := make([]uint64, words)
+	for w := 0; w < words; w++ {
+		b := (*buf)[:0]
+		for _, f := range nd.Fanin {
+			b = append(b, o.valbits[f][w])
+		}
+		*buf = b
+		row[w] = nd.Type.EvalWords(b)
+	}
+	return row
 }
 
 // careSet projects the reachable primary-input space onto the given input
 // nodes: bit m of the result is 1 iff some PI pattern drives the inputs to
-// the combination m (MSB-first order, matching Extract).
+// the combination m (MSB-first order, matching Extract). The projection is
+// word-hoisted: each input's row is fetched once and 64 patterns are read
+// per word.
 func (o *optimizer) careSet(inputs []int) logic.TT {
-	key := ""
-	for _, id := range inputs {
-		key += fmt.Sprintf("%d,", id)
-	}
+	key := digest.New().Ints(inputs)
 	if tt, ok := o.careCache.Get(key); ok {
 		return tt
 	}
 	n := len(inputs)
 	care := logic.New(n)
-	var totalPat int
-	for _, bits := range o.valbits {
-		totalPat = len(bits) * 64
-		break
+	rows := make([][]uint64, n)
+	for j, id := range inputs {
+		rows[j] = o.valbits[id]
 	}
-	for p := 0; p < totalPat; p++ {
-		idx := 0
-		for j, id := range inputs {
-			if o.valbits[id][p>>6]&(1<<(p&63)) != 0 {
-				idx |= 1 << (n - 1 - j)
-			}
+	total := 1 << o.nPI
+	for base := 0; base < total; base += 64 {
+		w := base >> 6
+		lim := 64
+		if total-base < 64 {
+			lim = total - base
 		}
-		care.Set(idx, true)
+		for b := 0; b < lim; b++ {
+			idx := 0
+			for j := 0; j < n; j++ {
+				if rows[j][w]>>uint(b)&1 != 0 {
+					idx |= 1 << (n - 1 - j)
+				}
+			}
+			care.Set(idx, true)
+		}
 	}
 	o.careCache.Set(key, care)
 	return care
@@ -578,7 +847,7 @@ func (o *optimizer) careSet(inputs []int) logic.TT {
 // identifyMulti finds a multi-unit realization (Section 6 extension), with
 // memoization.
 func (o *optimizer) identifyMulti(tt logic.TT) (compare.MultiSpec, bool) {
-	key := ttKey(tt)
+	key := tt.Key()
 	if r, ok := o.multiCache.Get(key); ok {
 		mCacheHits.Inc()
 		return r.spec, r.ok
@@ -589,9 +858,11 @@ func (o *optimizer) identifyMulti(tt logic.TT) (compare.MultiSpec, bool) {
 }
 
 // identify finds a unit realization for tt, via the exact search or the
-// paper's sampling method, with memoization.
+// paper's sampling method, with memoization. A warm hit performs no
+// allocation: the key is a fixed-size value and the cache shards on it
+// without building a string.
 func (o *optimizer) identify(tt logic.TT) (compare.Spec, bool) {
-	key := ttKey(tt)
+	key := tt.Key()
 	if r, ok := o.cache.Get(key); ok {
 		mCacheHits.Inc()
 		return r.spec, r.ok
@@ -610,7 +881,7 @@ func (o *optimizer) identify(tt logic.TT) (compare.Spec, bool) {
 // identifyDC finds a unit realization of tt under the care set, with
 // memoization (the search is exact, so the cache is pure).
 func (o *optimizer) identifyDC(tt, care logic.TT) (compare.Spec, bool) {
-	key := ttKey(tt) + "|" + ttKey(care)
+	key := dcKey{f: tt.Key(), care: care.Key()}
 	if r, ok := o.dcCache.Get(key); ok {
 		mCacheHits.Inc()
 		return r.spec, r.ok
@@ -623,7 +894,7 @@ func (o *optimizer) identifyDC(tt, care logic.TT) (compare.Spec, bool) {
 // identifyAll memoizes the alternative-realization enumeration (MaxSpecs is
 // constant for the run, so the truth table alone keys it).
 func (o *optimizer) identifyAll(tt logic.TT) []compare.Spec {
-	key := ttKey(tt)
+	key := tt.Key()
 	if specs, ok := o.allCache.Get(key); ok {
 		mCacheHits.Inc()
 		return specs

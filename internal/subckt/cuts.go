@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"compsynth/internal/circuit"
+	"compsynth/internal/digest"
 )
 
 // K-feasible cut enumeration (the standard technology-mapping algorithm).
@@ -22,63 +23,90 @@ import (
 
 // CutDB holds the K-feasible cuts of every node of one circuit snapshot.
 type CutDB struct {
-	K    int
-	cuts [][][]int // per node: list of cuts; each cut is sorted node IDs
+	K       int
+	maxCuts int
+	cuts    [][][]int // per node: list of cuts; each cut is sorted node IDs
 }
 
 // ComputeCuts enumerates up to maxCuts K-feasible cuts per node, smallest
 // first. maxCuts <= 0 selects a default of 64.
 func ComputeCuts(c *circuit.Circuit, k, maxCuts int) *CutDB {
+	db := NewCutDB(c, k, maxCuts)
+	for _, id := range c.Topo() {
+		db.ComputeNode(c, id)
+	}
+	return db
+}
+
+// NewCutDB returns an empty database sized for c; callers fill it with
+// ComputeNode in topological order (ComputeCuts does exactly that). The
+// split exists for incremental recomputation: after a local rewiring, only
+// the dirty cone's nodes need ComputeNode again.
+func NewCutDB(c *circuit.Circuit, k, maxCuts int) *CutDB {
 	if maxCuts <= 0 {
 		maxCuts = 64
 	}
-	db := &CutDB{K: k, cuts: make([][][]int, len(c.Nodes))}
-	for _, id := range c.Topo() {
-		nd := c.Nodes[id]
-		switch nd.Type {
-		case circuit.Input:
-			db.cuts[id] = [][]int{{id}}
-		case circuit.Const0, circuit.Const1:
-			db.cuts[id] = [][]int{{}}
-		default:
-			merged := [][]int{{id}} // the trivial cut
-			// Cartesian merge across fanins, width-capped.
-			acc := [][]int{{}}
-			for _, f := range nd.Fanin {
-				var next [][]int
-				for _, a := range acc {
-					for _, cf := range db.cuts[f] {
-						u := unionSorted(a, cf, k)
-						if u != nil {
-							next = append(next, u)
-						}
-						if len(next) > 4*maxCuts {
-							break
-						}
+	return &CutDB{K: k, maxCuts: maxCuts, cuts: make([][][]int, len(c.Nodes))}
+}
+
+// Grow extends per-node storage to cover IDs up to len(c.Nodes)-1; newly
+// covered nodes start with no cuts.
+func (db *CutDB) Grow(c *circuit.Circuit) {
+	for len(db.cuts) < len(c.Nodes) {
+		db.cuts = append(db.cuts, nil)
+	}
+}
+
+// ComputeNode (re)computes the cuts of one node from its fanins' current cut
+// sets, which must already be up to date. The result is a pure function of
+// the node's type/fanin and the fanin cut sets, so recomputing any superset
+// of the changed cone in topological order reproduces exactly what a full
+// ComputeCuts would build.
+func (db *CutDB) ComputeNode(c *circuit.Circuit, id int) {
+	k, maxCuts := db.K, db.maxCuts
+	nd := c.Nodes[id]
+	switch nd.Type {
+	case circuit.Input:
+		db.cuts[id] = [][]int{{id}}
+	case circuit.Const0, circuit.Const1:
+		db.cuts[id] = [][]int{{}}
+	default:
+		merged := [][]int{{id}} // the trivial cut
+		// Cartesian merge across fanins, width-capped.
+		acc := [][]int{{}}
+		for _, f := range nd.Fanin {
+			var next [][]int
+			for _, a := range acc {
+				for _, cf := range db.cuts[f] {
+					u := unionSorted(a, cf, k)
+					if u != nil {
+						next = append(next, u)
 					}
 					if len(next) > 4*maxCuts {
 						break
 					}
 				}
-				acc = dedupeCuts(next)
-				if len(acc) > 2*maxCuts {
-					sortCuts(acc)
-					acc = acc[:2*maxCuts]
-				}
-				if len(acc) == 0 {
+				if len(next) > 4*maxCuts {
 					break
 				}
 			}
-			merged = append(merged, acc...)
-			merged = dedupeCuts(merged)
-			sortCuts(merged)
-			if len(merged) > maxCuts {
-				merged = merged[:maxCuts]
+			acc = dedupeCuts(next)
+			if len(acc) > 2*maxCuts {
+				sortCuts(acc)
+				acc = acc[:2*maxCuts]
 			}
-			db.cuts[id] = merged
+			if len(acc) == 0 {
+				break
+			}
 		}
+		merged = append(merged, acc...)
+		merged = dedupeCuts(merged)
+		sortCuts(merged)
+		if len(merged) > maxCuts {
+			merged = merged[:maxCuts]
+		}
+		db.cuts[id] = merged
 	}
-	return db
 }
 
 // Cuts returns the cuts of node id (shared storage; do not mutate).
@@ -109,24 +137,19 @@ func unionSorted(a, b []int, k int) []int {
 }
 
 func dedupeCuts(cs [][]int) [][]int {
-	seen := map[string]bool{}
+	// Cuts are sorted ID slices, so a length-framed digest is a canonical
+	// set identity: no per-cut string is built. (The packed-byte string key
+	// this replaces also collided for IDs >= 2^24.)
+	seen := map[digest.D]bool{}
 	out := cs[:0]
 	for _, c := range cs {
-		k := cutKey(c)
+		k := digest.New().Ints(c)
 		if !seen[k] {
 			seen[k] = true
 			out = append(out, c)
 		}
 	}
 	return out
-}
-
-func cutKey(c []int) string {
-	b := make([]byte, 0, len(c)*3)
-	for _, id := range c {
-		b = append(b, byte(id), byte(id>>8), byte(id>>16))
-	}
-	return string(b)
 }
 
 func sortCuts(cs [][]int) {

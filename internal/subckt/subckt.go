@@ -8,9 +8,12 @@
 package subckt
 
 import (
+	"math/bits"
 	"sort"
+	"sync"
 
 	"compsynth/internal/circuit"
+	"compsynth/internal/digest"
 	"compsynth/internal/logic"
 )
 
@@ -19,6 +22,9 @@ type Subcircuit struct {
 	Out    int          // output node ID (a gate of the host circuit)
 	Gates  map[int]bool // node IDs inside C' (includes absorbed constants)
 	Inputs []int        // external driving node IDs, sorted ascending
+
+	key   Key // lazily computed by Key()
+	keyed bool
 }
 
 // Options bounds the enumeration.
@@ -48,7 +54,7 @@ func Enumerate(c *circuit.Circuit, g int, opt Options) []*Subcircuit {
 		return nil
 	}
 	out := []*Subcircuit{first}
-	seen := map[string]bool{first.Key(): true}
+	seen := map[Key]bool{first.Key(): true}
 	for i := 0; i < len(out); i++ {
 		if opt.MaxCandidates > 0 && len(out) >= opt.MaxCandidates {
 			break
@@ -108,82 +114,170 @@ func newSub(c *circuit.Circuit, g int, gates map[int]bool) *Subcircuit {
 	return &Subcircuit{Out: g, Gates: gates, Inputs: inputs}
 }
 
-// Key returns a canonical identity for the subcircuit within one circuit
-// snapshot: the sorted gate IDs, packed. Two candidates with equal keys
-// implement the same function as long as no gate in the set changed type or
-// fanin, which holds for the duration of one optimizer pass (replacements
-// only add nodes and rewire consumers of already-visited outputs), so Key
-// doubles as the truth-table memoization key for Extract.
-func (s *Subcircuit) Key() string {
-	ids := make([]int, 0, len(s.Gates))
+// Key is a canonical, fixed-size, comparable identity for a subcircuit
+// within one circuit snapshot. The gate set is folded order-independently —
+// each gate ID is digested individually and the 128-bit digests are combined
+// with two independent commutative operators (addition mod 2^128 and XOR) —
+// so the key needs no sorted ID slice and no string: computing it allocates
+// nothing. Out and the gate count ride along as exact fields.
+//
+// Unlike the packed-byte string key this replaces, IDs of any magnitude are
+// handled (the old 3-byte packing silently collided for IDs >= 2^24).
+type Key struct {
+	SumLo, SumHi uint64 // sum mod 2^128 of per-gate digests
+	XorLo        uint64 // xor fold of per-gate digest low halves
+	Out          int32
+	N            int32 // gate count
+}
+
+// Key returns the subcircuit's identity, computing it on first use. Two
+// candidates with equal keys implement the same function as long as no gate
+// in the set changed type or fanin, which holds for the duration of one
+// optimizer pass (replacements only add nodes and rewire consumers of
+// already-visited outputs), so Key doubles as the truth-table memoization
+// key for Extract.
+func (s *Subcircuit) Key() Key {
+	if s.keyed {
+		return s.key
+	}
+	k := Key{Out: int32(s.Out), N: int32(len(s.Gates))}
 	for id := range s.Gates {
-		ids = append(ids, id)
+		d := digest.New().Int(id)
+		var carry uint64
+		k.SumLo, carry = bits.Add64(k.SumLo, d.Lo, 0)
+		k.SumHi, _ = bits.Add64(k.SumHi, d.Hi, carry)
+		k.XorLo ^= d.Lo
 	}
-	sort.Ints(ids)
-	b := make([]byte, 0, len(ids)*3)
-	for _, id := range ids {
-		b = append(b, byte(id), byte(id>>8), byte(id>>16))
+	s.key, s.keyed = k, true
+	return k
+}
+
+// varTabs caches the variable truth tables Var(n, 1..n) per input count, so
+// Extract does not rebuild them for every candidate. The tables are
+// immutable once published.
+var (
+	varTabMu sync.Mutex
+	varTabs  = map[int][]logic.TT{}
+)
+
+func varTablesFor(n int) []logic.TT {
+	varTabMu.Lock()
+	defer varTabMu.Unlock()
+	if t, ok := varTabs[n]; ok {
+		return t
 	}
-	return string(b)
+	t := make([]logic.TT, n)
+	for j := 0; j < n; j++ {
+		t[j] = logic.Var(n, j+1)
+	}
+	varTabs[n] = t
+	return t
+}
+
+// extractScratch is the reusable per-Extract working set: a small
+// linear-scan association from node ID to its current 64-pattern word (the
+// sets involved are tiny — |gates| + |inputs| is bounded by the cut size),
+// the internal topological order, and the fanin word buffer. Pooled so
+// concurrent prefetch workers each grab their own.
+type extractScratch struct {
+	ids   []int
+	vals  []uint64
+	state []int8 // DFS state per ids entry: 0 unseen, 1 visiting, 2 done
+	order []int
+	buf   []uint64
+}
+
+var extractPool = sync.Pool{New: func() any { return new(extractScratch) }}
+
+func (sc *extractScratch) reset() {
+	sc.ids = sc.ids[:0]
+	sc.vals = sc.vals[:0]
+	sc.state = sc.state[:0]
+	sc.order = sc.order[:0]
+	sc.buf = sc.buf[:0]
+}
+
+func (sc *extractScratch) idx(id int) int {
+	for i, x := range sc.ids {
+		if x == id {
+			return i
+		}
+	}
+	return -1
+}
+
+func (sc *extractScratch) add(id int) int {
+	if i := sc.idx(id); i >= 0 {
+		return i
+	}
+	sc.ids = append(sc.ids, id)
+	sc.vals = append(sc.vals, 0)
+	sc.state = append(sc.state, 0)
+	return len(sc.ids) - 1
 }
 
 // Extract computes the truth table of the function C' implements on Out,
 // over the inputs in Subcircuit.Inputs order (input j = variable y_{j+1},
-// most significant first, per the logic package convention).
+// most significant first, per the logic package convention). All working
+// storage comes from a pooled scratch, so steady-state calls allocate only
+// the returned table.
 func (s *Subcircuit) Extract(c *circuit.Circuit) logic.TT {
 	n := len(s.Inputs)
 	tt := logic.New(n)
-	// Evaluate internal gates in host topological order, 64 minterms at a
-	// time, driving each input with its variable pattern.
-	varTT := make([]logic.TT, n)
-	for j := 0; j < n; j++ {
-		varTT[j] = logic.Var(n, j+1)
+	vt := varTablesFor(n)
+	sc := extractPool.Get().(*extractScratch)
+	sc.reset()
+	for _, in := range s.Inputs {
+		sc.add(in)
 	}
-	words := map[int]uint64{}
-	order := s.topoInside(c)
-	nWords := (tt.Size() + 63) / 64
-	for w := 0; w < nWords; w++ {
+	s.topoInto(c, sc)
+	// Evaluate internal gates in topological order, 64 minterms at a time,
+	// driving each input with its variable pattern.
+	words := tt.Words()
+	outIdx := sc.idx(s.Out)
+	for w := range words {
 		for j, in := range s.Inputs {
-			words[in] = varTT[j].Words()[w]
+			sc.vals[sc.idx(in)] = vt[j].Words()[w]
 		}
-		var buf []uint64
-		for _, id := range order {
+		for _, id := range sc.order {
 			nd := c.Nodes[id]
-			buf = buf[:0]
+			sc.buf = sc.buf[:0]
 			for _, f := range nd.Fanin {
-				buf = append(buf, words[f])
+				sc.buf = append(sc.buf, sc.vals[sc.idx(f)])
 			}
-			words[id] = nd.Type.EvalWords(buf)
+			sc.vals[sc.idx(id)] = nd.Type.EvalWords(sc.buf)
 		}
-		out := words[s.Out]
-		copy(tt.Words()[w:w+1], []uint64{out})
+		words[w] = sc.vals[outIdx]
 	}
 	// Trim invalid high bits for n < 6.
 	if n < 6 {
-		mask := (uint64(1) << (1 << n)) - 1
-		tt.Words()[0] &= mask
+		words[0] &= (uint64(1) << (1 << n)) - 1
 	}
+	extractPool.Put(sc)
 	return tt
 }
 
-// topoInside returns the subcircuit's gates in topological order.
-func (s *Subcircuit) topoInside(c *circuit.Circuit) []int {
-	order := make([]int, 0, len(s.Gates))
-	state := map[int]int{} // 0 unseen, 1 visiting, 2 done
+// topoInto appends the subcircuit's gates to sc.order in topological order,
+// registering each in the scratch association.
+func (s *Subcircuit) topoInto(c *circuit.Circuit, sc *extractScratch) {
 	var visit func(id int)
 	visit = func(id int) {
-		if !s.Gates[id] || state[id] == 2 {
+		if !s.Gates[id] {
 			return
 		}
-		if state[id] == 1 {
+		i := sc.add(id)
+		if sc.state[i] == 2 {
+			return
+		}
+		if sc.state[i] == 1 {
 			panic("subckt: cycle inside subcircuit")
 		}
-		state[id] = 1
+		sc.state[i] = 1
 		for _, f := range c.Nodes[id].Fanin {
 			visit(f)
 		}
-		state[id] = 2
-		order = append(order, id)
+		sc.state[i] = 2
+		sc.order = append(sc.order, id)
 	}
 	visit(s.Out)
 	// Gates unreachable from Out (can happen when an absorbed gate only
@@ -191,7 +285,6 @@ func (s *Subcircuit) topoInside(c *circuit.Circuit) []int {
 	for id := range s.Gates {
 		visit(id)
 	}
-	return order
 }
 
 // Removable returns the set of gates that disappear if C' is replaced by a

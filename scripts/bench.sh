@@ -1,21 +1,28 @@
 #!/usr/bin/env bash
-# Parallel-scaling benchmark sweep: runs the table, fault-simulation and
-# resynthesis benchmarks at -cpu 1 and 4 (serial vs 4-worker fan-out of the
-# bit-identical workload) and records the results as BENCH_<date>.json in
-# the repository root.
+# Benchmark sweep: runs the selected benchmarks (default: the
+# parallel-scaling set) with allocation accounting and records the results
+# as BENCH_<date>.json in the repository root.
 #
-# Usage: scripts/bench.sh [bench-regex] [cpus]
-#   bench-regex  benchmarks to run (default: the parallel-scaling set)
+# Usage: scripts/bench.sh [bench-regex] [cpus] [out] [benchtime]
+#   bench-regex  benchmarks to run (default: the parallel-scaling set;
+#                pass '' to keep the default while setting later args)
 #   cpus         -cpu list (default: 1,4)
+#   out          output file (default: BENCH_<date>.json)
+#   benchtime    -benchtime (default 2x: the scaling set contains runs of
+#                minutes per op; use e.g. 20x for the fast gate set)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-pattern="${1:-Table2Parallel|FaultSimParallel|ResynthParallel|Table2Procedure2|FaultSimulation}"
-cpus="${2:-1,4}"
-out="BENCH_$(date +%F).json"
+pattern="${1:-}"
+[ -n "$pattern" ] || pattern='Table2Parallel|FaultSimParallel|ResynthParallel|Table2Procedure2|FaultSimulation'
+cpus="${2:-}"
+[ -n "$cpus" ] || cpus='1,4'
+out="${3:-}"
+[ -n "$out" ] || out="BENCH_$(date +%F).json"
+benchtime="${4:-2x}"
 
-echo "== go test -bench ($pattern) -cpu $cpus =="
-raw=$(go test -run '^$' -bench "$pattern" -benchtime 2x -cpu "$cpus" -timeout 30m .)
+echo "== go test -bench ($pattern) -cpu $cpus -benchtime $benchtime -benchmem =="
+raw=$(go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem -cpu "$cpus" -timeout 30m .)
 echo "$raw"
 
 echo "$raw" | go run ./scripts/benchjson > "$out"

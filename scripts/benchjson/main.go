@@ -15,14 +15,17 @@ import (
 	"time"
 )
 
-// benchLine matches e.g. "BenchmarkFaultSimParallel-4  12  9876543 ns/op".
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([\d.]+) ns/op`)
+// benchLine matches e.g. "BenchmarkFaultSimParallel-4  12  9876543 ns/op"
+// with the optional "-benchmem" columns "4096 B/op  12 allocs/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
 
 type result struct {
-	Name       string  `json:"name"`
-	CPU        int     `json:"cpu"`
-	Iterations int64   `json:"iterations"`
-	NsPerOp    float64 `json:"ns_per_op"`
+	Name        string   `json:"name"`
+	CPU         int      `json:"cpu"`
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`  // nil when run without -benchmem
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"` // nil when run without -benchmem
 }
 
 type speedup struct {
@@ -62,9 +65,13 @@ func main() {
 		}
 		iters, _ := strconv.ParseInt(m[3], 10, 64)
 		ns, _ := strconv.ParseFloat(m[4], 64)
-		rep.Benchmarks = append(rep.Benchmarks, result{
-			Name: m[1], CPU: cpu, Iterations: iters, NsPerOp: ns,
-		})
+		res := result{Name: m[1], CPU: cpu, Iterations: iters, NsPerOp: ns}
+		if m[5] != "" {
+			bytes, _ := strconv.ParseFloat(m[5], 64)
+			allocs, _ := strconv.ParseFloat(m[6], 64)
+			res.BytesPerOp, res.AllocsPerOp = &bytes, &allocs
+		}
+		rep.Benchmarks = append(rep.Benchmarks, res)
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)

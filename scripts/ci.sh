@@ -42,7 +42,26 @@ go run ./cmd/sft -in circuits/adder4.bench -report -workers 2 \
     -metrics-out "$fresh" >/dev/null
 go run ./cmd/obsdiff -tol 0 -tol-time 100 \
     internal/obsdiff/testdata/golden_report.json "$fresh"
-# Parser sanity on the committed bench baseline (self-diff must be clean).
+# Parser sanity on the committed bench baselines (self-diff must be clean).
 go run ./cmd/obsdiff BENCH_2026-08-06.json BENCH_2026-08-06.json >/dev/null
+go run ./cmd/obsdiff BENCH_2026-08-06_lean.json BENCH_2026-08-06_lean.json >/dev/null
+
+echo "== bench gate =="
+# Re-measure the resynthesis/identification benchmark set and diff against
+# the committed baseline (BENCH_2026-08-06_lean.json, recorded by
+# scripts/bench.sh with the same pattern/benchtime). Allocation metrics are
+# deterministic — measured run-to-run drift is <1% (sync.Pool refills under
+# GC timing) — so allocs/op is gated at 1%: an optimization-killing change
+# cannot hide. Wall-clock ns/op on a shared single-CPU container is only
+# an order-of-magnitude signal: identical binaries measured 97-235us/op on
+# the microsecond-scale identify bench (2.4x spread under CI load), so the
+# default ns/op tolerance is 100% — it catches complexity-class blowups,
+# which is all this hardware can resolve. Tighten on a quiet dedicated
+# machine with e.g. BENCH_TOL_NS=0.10 scripts/ci.sh.
+benchgate="$(mktemp)"
+trap 'rm -f "$fresh" "$benchgate"' EXIT
+scripts/bench.sh 'Table2Procedure2|ResynthParallel|AblationIdentify' 1 "$benchgate" 20x >/dev/null
+go run ./cmd/obsdiff -tol-bench "${BENCH_TOL_NS:-1.0}" -tol-alloc 0.01 \
+    BENCH_2026-08-06_lean.json "$benchgate"
 
 echo "ci: all checks passed"
