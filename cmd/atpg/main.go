@@ -39,6 +39,9 @@ func main() {
 		os.Exit(run.Fail(err))
 	}
 	run.CircuitBefore(c)
+	if err := run.CheckCircuit("input", c); err != nil {
+		os.Exit(run.Fail(err))
+	}
 	fl := faults.Collapse(c)
 	lg.Printf("%s: %v, %d collapsed faults", c.Name, c.Stats(), len(fl))
 

@@ -37,6 +37,9 @@ func main() {
 		os.Exit(run.Fail(err))
 	}
 	run.CircuitBefore(c)
+	if err := run.CheckCircuit("input", c); err != nil {
+		os.Exit(run.Fail(err))
+	}
 	fl := faults.Collapse(c)
 	res := faultsim.Campaign(c, fl, faultsim.CampaignOptions{
 		Patterns: *patterns, Seed: *seed, Workers: oflags.Workers, Tracer: run.Tracer,

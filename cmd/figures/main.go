@@ -37,6 +37,9 @@ func show(run *obs.Run, title string, s compare.Spec, merge bool) {
 	lg.Printf("spec: %v, free=%d, geq=%v, leq=%v, gate cost=%d equiv-2-input",
 		s, s.FreeCount(), s.GeqPresent(), s.LeqPresent(), s.GateCost())
 	c := s.BuildStandalone("fig", compare.BuildOptions{Merge: merge})
+	if err := run.CheckCircuit(title, c); err != nil {
+		os.Exit(run.Fail(err))
+	}
 	fmt.Print(bench.String(c))
 	total := paths.MustCount(c)
 	lg.Printf("paths through unit: %d (bound: 2 per input)\n", total)

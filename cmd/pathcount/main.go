@@ -35,6 +35,9 @@ func main() {
 		os.Exit(run.Fail(err))
 	}
 	run.CircuitBefore(c)
+	if err := run.CheckCircuit("input", c); err != nil {
+		os.Exit(run.Fail(err))
+	}
 	sp := run.Tracer.StartSpan("pathcount.label")
 	total := compsynth.CountPathsBig(c)
 	sp.End()

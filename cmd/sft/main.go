@@ -80,6 +80,9 @@ func sft(run *obs.Run, in, out string, obj resynth.Objective, k int,
 		return err
 	}
 	run.CircuitBefore(c)
+	if err := run.CheckCircuit("input", c); err != nil {
+		return err
+	}
 	lg.Printf("loaded %s: %v", in, c.Stats())
 	p0, err := compsynth.CountPaths(c)
 	if err != nil {
@@ -96,6 +99,7 @@ func sft(run *obs.Run, in, out string, obj resynth.Objective, k int,
 	opt.Seed = seed
 	opt.Workers = workers
 	opt.Tracer = run.Tracer
+	opt.Check = run.CheckEnabled()
 	lg.Verbosef("resynthesis starting (objective=%v K=%d sampling=%v)", obj, k, sampling)
 	res, err := compsynth.Optimize(c, opt)
 	if err != nil {
@@ -124,6 +128,9 @@ func sft(run *obs.Run, in, out string, obj resynth.Objective, k int,
 		return fmt.Errorf("internal error: result not equivalent to input")
 	}
 	run.CircuitAfter(final)
+	if err := run.CheckCircuit("final", final); err != nil {
+		return err
+	}
 	lg.Printf("final: %v, paths %d", final.Stats(), mustPaths(final))
 
 	if report {

@@ -1,0 +1,70 @@
+// Command sftlint runs the repository's static analysis rules (package
+// internal/lint): wall-clock/global-RNG bans in deterministic packages,
+// map-iteration-order hazards, obs metric naming, par.Cache key types and
+// out-of-package circuit-node mutation.
+//
+// Usage:
+//
+//	sftlint [flags] [packages]
+//
+// Packages are directories, optionally ending in /... for a recursive walk;
+// the default is ./... . Exit status: 0 clean, 1 findings, 2 usage or load
+// failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"compsynth/internal/lint"
+)
+
+func main() {
+	var (
+		jsonOut = flag.Bool("json", false, "emit diagnostics as a JSON array instead of text")
+		rules   = flag.String("rules", "", "comma-separated rule subset (default: all of "+strings.Join(lint.AllRules(), ",")+")")
+		detAll  = flag.Bool("det-all", false, "treat every package as deterministic pipeline code (used on the injected-violation fixtures)")
+		relTo   = flag.String("rel", "", "report file paths relative to this directory")
+	)
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs, err := lint.ExpandPatterns(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sftlint:", err)
+		os.Exit(2)
+	}
+	if len(dirs) == 0 {
+		fmt.Fprintln(os.Stderr, "sftlint: no packages matched")
+		os.Exit(2)
+	}
+
+	cfg := lint.Config{DeterministicAll: *detAll, RelativeTo: *relTo}
+	if *rules != "" {
+		cfg.Rules = strings.Split(*rules, ",")
+	}
+	diags, err := lint.Analyze(dirs, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sftlint:", err)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		out, err := lint.FormatJSON(diags)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sftlint:", err)
+			os.Exit(2)
+		}
+		fmt.Print(out)
+	} else {
+		fmt.Print(lint.FormatText(diags))
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

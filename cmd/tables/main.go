@@ -57,6 +57,7 @@ func main() {
 	}
 	cfg.Verify = !*noverify
 	cfg.Workers = oflags.Workers
+	cfg.Check = oflags.Check
 
 	orun := oflags.Start("tables")
 	lg := orun.Log

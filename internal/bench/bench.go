@@ -137,6 +137,22 @@ func Parse(r io.Reader, name string) (*circuit.Circuit, error) {
 			if !ok {
 				return nil, fmt.Errorf("bench:%d: unknown gate type %q", g.line, g.kw)
 			}
+			// Arity errors must surface as parse errors, not as panics out
+			// of AddGate (found by FuzzParseBench: "g = AND()" crashed).
+			switch gt {
+			case circuit.Const0, circuit.Const1:
+				if len(ids) != 0 {
+					return nil, fmt.Errorf("bench:%d: %s takes no operands, got %d", g.line, g.kw, len(ids))
+				}
+			case circuit.Buf, circuit.Not:
+				if len(ids) != 1 {
+					return nil, fmt.Errorf("bench:%d: %s takes exactly 1 operand, got %d", g.line, g.kw, len(ids))
+				}
+			default:
+				if len(ids) < 1 {
+					return nil, fmt.Errorf("bench:%d: %s needs at least 1 operand", g.line, g.kw)
+				}
+			}
 			if c.NodeByName(g.out) >= 0 {
 				return nil, fmt.Errorf("bench:%d: signal %q driven twice", g.line, g.out)
 			}

@@ -1,0 +1,80 @@
+package bench_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"compsynth/internal/bench"
+	"compsynth/internal/circuit"
+)
+
+// TestParseRejectsBadArity pins a FuzzParseBench find: a gate line with the
+// wrong operand count ("g = AND()") used to reach circuit.AddGate and panic.
+// Operand-count problems must surface as parse errors.
+func TestParseRejectsBadArity(t *testing.T) {
+	for _, tc := range []struct{ src, want string }{
+		{"OUTPUT(g)\ng = AND()\n", "at least 1 operand"},
+		{"INPUT(a)\nOUTPUT(g)\ng = NOT(a, a)\n", "exactly 1 operand"},
+		{"INPUT(a)\nOUTPUT(g)\ng = CONST0(a)\n", "no operands"},
+	} {
+		_, err := bench.ParseString(tc.src, "arity")
+		if err == nil {
+			t.Errorf("parser accepted %q", tc.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParseString(%q) error = %q, want substring %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+// FuzzParseBench feeds arbitrary netlist text to the parser. Accepted inputs
+// must produce a structurally valid circuit (circuit.Check; unused gates are
+// legal in hand-written netlists) and must survive a write -> parse -> write
+// round-trip byte-identically — the writer is the parser's inverse on the
+// parser's image. Rejected inputs just need to not crash.
+func FuzzParseBench(f *testing.F) {
+	f.Add(bench.C17)
+	f.Add(bench.Adder4)
+	files, err := filepath.Glob(filepath.Join("..", "..", "circuits", "*.bench"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+	// Hand-picked corners: empty, comment-only, dangling reference, dup name.
+	f.Add("")
+	f.Add("# comment only\n")
+	f.Add("INPUT(a)\nOUTPUT(g)\ng = AND(a, missing)\n")
+	f.Add("INPUT(a)\nOUTPUT(a)\n")
+	f.Add("INPUT(a)\nINPUT(a)\nOUTPUT(g)\ng = NOT(a)\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := bench.ParseString(src, "fuzz")
+		if err != nil {
+			return // rejected input; only panics are failures here
+		}
+		if err := circuit.CheckWith(c, circuit.CheckOptions{AllowUnreachable: true}); err != nil {
+			t.Fatalf("parser accepted a structurally invalid circuit: %v\ninput:\n%s", err, src)
+		}
+		out1 := bench.String(c)
+		c2, err := bench.ParseString(out1, "fuzz")
+		if err != nil {
+			t.Fatalf("writer output does not re-parse: %v\nwritten:\n%s", err, out1)
+		}
+		if err := circuit.CheckWith(c2, circuit.CheckOptions{AllowUnreachable: true}); err != nil {
+			t.Fatalf("re-parsed circuit invalid: %v", err)
+		}
+		out2 := bench.String(c2)
+		if out1 != out2 {
+			t.Fatalf("write/parse/write not a fixpoint:\n--- first ---\n%s--- second ---\n%s", out1, out2)
+		}
+	})
+}

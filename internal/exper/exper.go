@@ -48,6 +48,7 @@ type Config struct {
 	Circuits        []string // filter by name; empty = whole suite
 	MakeIrredundant bool     // apply redundancy removal to the raw circuits
 	Verify          bool     // per-pass equivalence checking
+	Check           bool     // per-pass circuit IR invariant validation
 
 	// Workers bounds the concurrency of suite preparation and table
 	// regeneration (0 = runtime.GOMAXPROCS(0), 1 = serial). Benchmark
@@ -282,6 +283,7 @@ func runProc(c *circuit.Circuit, obj resynth.Objective, cfg Config, workers int)
 		opt.K = k
 		opt.Objective = obj
 		opt.Verify = cfg.Verify
+		opt.Check = cfg.Check
 		opt.Workers = workers
 		opt.Tracer = cfg.Tracer
 		res, err := resynth.Optimize(c, opt)

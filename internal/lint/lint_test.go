@@ -1,0 +1,168 @@
+package lint_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"compsynth/internal/lint"
+)
+
+// repoRoot walks up from the working directory to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := dir; ; d = filepath.Dir(d) {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		if filepath.Dir(d) == d {
+			t.Fatalf("no go.mod above %s", dir)
+		}
+	}
+}
+
+func fixtureDirs(t *testing.T, root string) []string {
+	t.Helper()
+	dirs, err := lint.ExpandPatterns([]string{filepath.Join(root, "internal/lint/testdata/src") + "/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) < 5 {
+		t.Fatalf("expected at least 5 fixture packages, got %v", dirs)
+	}
+	return dirs
+}
+
+// TestFixturesGolden pins every injected-violation diagnostic byte for byte.
+func TestFixturesGolden(t *testing.T) {
+	root := repoRoot(t)
+	diags, err := lint.Analyze(fixtureDirs(t, root), lint.Config{
+		DeterministicAll: true,
+		RelativeTo:       root,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := lint.FormatText(diags)
+	want, err := os.ReadFile(filepath.Join(root, "internal/lint/testdata/golden.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("fixture diagnostics drifted from golden.txt\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	gotJSON, err := lint.FormatJSON(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := os.ReadFile(filepath.Join(root, "internal/lint/testdata/golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotJSON != string(wantJSON) {
+		t.Errorf("JSON diagnostics drifted from golden.json\n--- got ---\n%s--- want ---\n%s", gotJSON, wantJSON)
+	}
+}
+
+// TestFixturesCoverEveryRule guards the fixtures themselves: each rule must
+// fire at least once, or a refactor could silently hollow out the gate.
+func TestFixturesCoverEveryRule(t *testing.T) {
+	root := repoRoot(t)
+	diags, err := lint.Analyze(fixtureDirs(t, root), lint.Config{DeterministicAll: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := map[string]int{}
+	for _, d := range diags {
+		fired[d.Rule]++
+	}
+	for _, rule := range lint.AllRules() {
+		if fired[rule] == 0 {
+			t.Errorf("rule %s never fires on the fixtures", rule)
+		}
+	}
+}
+
+// TestRuleFilter checks Config.Rules restricts the run.
+func TestRuleFilter(t *testing.T) {
+	root := repoRoot(t)
+	diags, err := lint.Analyze(fixtureDirs(t, root), lint.Config{
+		DeterministicAll: true,
+		Rules:            []string{"cachekey"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("cachekey-only run found nothing")
+	}
+	for _, d := range diags {
+		if d.Rule != "cachekey" {
+			t.Errorf("rule filter leaked %s diagnostic: %s", d.Rule, d)
+		}
+	}
+}
+
+// TestTreeClean is the in-process version of the CI gate: the repository's
+// own packages must produce zero diagnostics.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	root := repoRoot(t)
+	dirs, err := lint.ExpandPatterns([]string{root + "/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Analyze(dirs, lint.Config{RelativeTo: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) > 0 {
+		t.Errorf("tree is not lint-clean:\n%s", lint.FormatText(diags))
+	}
+}
+
+// TestJSONShape checks the JSON encoding round-trips and stays sorted.
+func TestJSONShape(t *testing.T) {
+	root := repoRoot(t)
+	diags, err := lint.Analyze(fixtureDirs(t, root), lint.Config{DeterministicAll: true, RelativeTo: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := lint.FormatJSON(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []lint.Diagnostic
+	if err := json.Unmarshal([]byte(out), &back); err != nil {
+		t.Fatalf("JSON output does not parse: %v", err)
+	}
+	if len(back) != len(diags) {
+		t.Fatalf("round-trip lost diagnostics: %d != %d", len(back), len(diags))
+	}
+	sorted := sort.SliceIsSorted(back, func(i, j int) bool {
+		if back[i].File != back[j].File {
+			return back[i].File < back[j].File
+		}
+		return back[i].Line < back[j].Line
+	})
+	if !sorted {
+		t.Error("JSON diagnostics are not sorted by file/line")
+	}
+	empty, err := lint.FormatJSON(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(empty) != "[]" {
+		t.Errorf("empty diagnostics should encode as [], got %q", empty)
+	}
+}

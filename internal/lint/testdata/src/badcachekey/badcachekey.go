@@ -1,0 +1,28 @@
+// Package badcachekey injects cachekey-rule violations. It is a lint
+// fixture: the go tool never builds testdata, only sftlint's own loader does.
+package badcachekey
+
+import "compsynth/internal/par"
+
+// name has string underlying type, so it still allocates as a map key.
+type name string
+
+var (
+	byString = par.NewCache[string, int]()
+	byNamed  = par.NewCache[name, int]()
+
+	// byStruct is clean: a fixed-size comparable key.
+	byStruct = par.NewCache[struct{ A, B int }, int]()
+)
+
+// Lookup instantiates the type (not the constructor) with a string key.
+func Lookup(c *par.Cache[string, float64]) (float64, bool) {
+	return c.Get("x")
+}
+
+// Use keeps the caches referenced.
+func Use() {
+	byString.Set("a", 1)
+	byNamed.Set("b", 2)
+	byStruct.Set(struct{ A, B int }{1, 2}, 3)
+}

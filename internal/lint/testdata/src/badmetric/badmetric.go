@@ -1,0 +1,23 @@
+// Package badmetric injects metricname-rule violations. It is a lint
+// fixture: the go tool never builds testdata, only sftlint's own loader does.
+package badmetric
+
+import "compsynth/internal/obs"
+
+var (
+	good  = obs.C("badmetric.events_total")
+	camel = obs.C("badmetric.EventCount")
+	theft = obs.G("resynth.stolen_name")
+)
+
+// Dynamic registers a computed name, which defeats static auditing.
+func Dynamic(name string) *obs.Counter {
+	return obs.C("badmetric." + name)
+}
+
+// Use keeps the registrations referenced.
+func Use() {
+	good.Add(1)
+	camel.Add(1)
+	theft.Set(1)
+}

@@ -46,6 +46,13 @@ type Flags struct {
 	// driver). Results are bit-identical for every value; 1 disables all
 	// fan-out. The default, GOMAXPROCS, uses all available CPUs.
 	Workers int
+
+	// Check enables circuit IR invariant validation (circuit.Check and the
+	// paper's comparison-unit path bound) on the circuits a command reads
+	// and produces, and after every resynthesis pass. Off by default: the
+	// pipeline's outputs are byte-identical either way, -check only adds
+	// failure detection.
+	Check bool
 }
 
 // AddFlags registers the shared flags on fs.
@@ -60,6 +67,8 @@ func AddFlags(fs *flag.FlagSet) *Flags {
 	fs.DurationVar(&f.Heartbeat, "heartbeat", time.Second, "heartbeat snapshot interval for -events (0 disables)")
 	fs.IntVar(&f.Workers, "workers", runtime.GOMAXPROCS(0),
 		"worker goroutines for parallel phases (results are identical for any value; 1 = serial)")
+	fs.BoolVar(&f.Check, "check", false,
+		"validate circuit IR invariants (acyclicity, arity, fanout consistency, comparison-unit path bound) on inputs, outputs and after every resynthesis pass")
 	return f
 }
 
@@ -167,6 +176,11 @@ func (f *Flags) start(tool string) (*Run, error) {
 // (tests use it to reach the bound address).
 func (r *Run) Server() TelemetryServer { return r.server }
 
+// CheckEnabled reports whether the run was started with -check; commands use
+// it to thread per-pass validation into resynth.Options.Check and
+// exper.Config.Check.
+func (r *Run) CheckEnabled() bool { return r.flags.Check }
+
 // CircuitBefore records (and verbosely logs) the input circuit.
 func (r *Run) CircuitBefore(c *circuit.Circuit) {
 	info := InfoOf(c)
@@ -179,6 +193,28 @@ func (r *Run) CircuitAfter(c *circuit.Circuit) {
 	info := InfoOf(c)
 	r.Report.CircuitAfter = &info
 	r.Log.Verbosef("output %s: %v, paths %d", c.Name, c.Stats(), info.Paths)
+}
+
+// CheckCircuit validates c's IR invariants — circuit.Check plus the paper's
+// comparison-unit path bound — when the run was started with -check; without
+// the flag it is a no-op. label names the circuit in the error ("input",
+// "after resynthesis", ...). Parsed netlists may legitimately carry gates no
+// output reads, so unreachable nodes are tolerated; the stricter post-
+// optimizer sweep lives in resynth.Options.Check.
+func (r *Run) CheckCircuit(label string, c *circuit.Circuit) error {
+	if !r.flags.Check {
+		return nil
+	}
+	sp := r.Tracer.StartSpan("check")
+	defer sp.End()
+	if err := circuit.CheckWith(c, circuit.CheckOptions{AllowUnreachable: true}); err != nil {
+		return fmt.Errorf("check %s circuit: %w", label, err)
+	}
+	if err := circuit.CheckComparisonUnits(c); err != nil {
+		return fmt.Errorf("check %s circuit: %w", label, err)
+	}
+	r.Log.Verbosef("check %s circuit: ok", label)
+	return nil
 }
 
 // closeRecorder detaches and closes the flight recorder, returning its

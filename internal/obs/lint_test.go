@@ -1,62 +1,42 @@
 package obs_test
 
 import (
-	"regexp"
+	"os"
+	"path/filepath"
 	"testing"
 
-	"compsynth/internal/obs"
-
-	// Every instrumented pipeline package, linked in so its package-level
-	// obs.C/G/H registrations land in the default registry before the lint
-	// walks it.
-	_ "compsynth/internal/atpg"
-	_ "compsynth/internal/compare"
-	_ "compsynth/internal/delay"
-	_ "compsynth/internal/exper"
-	_ "compsynth/internal/faultsim"
-	_ "compsynth/internal/par"
-	_ "compsynth/internal/redundancy"
-	_ "compsynth/internal/resynth"
+	"compsynth/internal/lint"
 )
 
-// metricNameRe is the registry naming convention: "package.snake_case". It
-// also guarantees a clean Prometheus rendering (PromName only has to turn
-// the dot into an underscore, never mangle).
-var metricNameRe = regexp.MustCompile(`^[a-z][a-z0-9]*(\.[a-z0-9_]+)+$`)
-
-// TestMetricNameLint walks every instrument registered in the default
-// registry and rejects names that break the package.snake_case convention.
+// TestMetricNameLint runs sftlint's metricname rule over the whole module:
+// every obs.C/G/H registration must be a string literal of the form
+// package.snake_case with the first segment naming the registering package.
+// The convention itself lives in exactly one place, internal/lint; this test
+// only keeps the gate wired from the obs side. The old version of this test
+// walked a runtime registry snapshot, which could only see packages that were
+// blank-imported here — the static rule sees every package, dynamic names
+// included.
 func TestMetricNameLint(t *testing.T) {
-	s := obs.Default().Snapshot()
-	check := func(kind, name string) {
-		if !metricNameRe.MatchString(name) {
-			t.Errorf("%s %q violates the package.snake_case naming convention", kind, name)
-		}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
 	}
-	n := 0
-	for name := range s.Counters {
-		check("counter", name)
-		n++
+	root := filepath.Dir(filepath.Dir(wd)) // internal/obs -> module root
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("module root not at %s: %v", root, err)
 	}
-	for name := range s.Gauges {
-		check("gauge", name)
-		n++
+	dirs, err := lint.ExpandPatterns([]string{root + "/..."})
+	if err != nil {
+		t.Fatal(err)
 	}
-	for name := range s.Histograms {
-		check("histogram", name)
-		n++
+	diags, err := lint.Analyze(dirs, lint.Config{
+		Rules:      []string{"metricname"},
+		RelativeTo: root,
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
-	// The blank imports above must actually have registered the pipeline
-	// instruments, or the lint is vacuous.
-	if n < 20 {
-		t.Fatalf("only %d instruments registered; lint did not see the pipeline packages", n)
-	}
-	for _, want := range []string{
-		"resynth.candidates_examined", "faultsim.patterns_simulated",
-		"atpg.backtracks", "exper.rows_completed", "par.tasks",
-	} {
-		if _, ok := s.Counters[want]; !ok {
-			t.Errorf("expected pipeline counter %q not registered", want)
-		}
+	for _, d := range diags {
+		t.Errorf("%s", d)
 	}
 }

@@ -74,6 +74,12 @@ func primeImplicants(tt logic.TT) []Cube {
 		for c := range cur {
 			cubes = append(cubes, c)
 		}
+		sort.Slice(cubes, func(i, j int) bool {
+			if cubes[i].Mask != cubes[j].Mask {
+				return cubes[i].Mask < cubes[j].Mask
+			}
+			return cubes[i].Value < cubes[j].Value
+		})
 		for i := 0; i < len(cubes); i++ {
 			for j := i + 1; j < len(cubes); j++ {
 				a, b := cubes[i], cubes[j]
@@ -89,7 +95,7 @@ func primeImplicants(tt logic.TT) []Cube {
 				merged[b] = true
 			}
 		}
-		for c := range cur {
+		for _, c := range cubes {
 			if !merged[c] {
 				primes = append(primes, c)
 			}

@@ -87,6 +87,7 @@ type Options struct {
 	MaxSpecs      int       // unit realizations considered per function
 	MaxPasses     int       // fixpoint iteration cap
 	Verify        bool      // check equivalence after every pass
+	Check         bool      // validate IR invariants after every pass (circuit.Check)
 	Merge         bool      // merge same-type chain gates (Figure 4)
 
 	// Workers bounds the goroutines used by the per-pass candidate
@@ -235,6 +236,22 @@ func Optimize(c *circuit.Circuit, opt Options) (*Result, error) {
 				return nil, fmt.Errorf("resynth: pass %d broke equivalence", pass)
 			}
 		}
+		if opt.Check {
+			csp := opt.Tracer.StartSpan("resynth.check")
+			// Mid-fixpoint the circuit carries dead tombstones and gates
+			// that later passes may still rewire, so unreachable live
+			// nodes are tolerated here; the post-Compact check below is
+			// strict.
+			err := circuit.CheckWith(work, circuit.CheckOptions{AllowUnreachable: true})
+			if err == nil {
+				err = circuit.CheckComparisonUnits(work)
+			}
+			csp.End()
+			if err != nil {
+				psp.End()
+				return nil, fmt.Errorf("resynth: pass %d: %w", pass, err)
+			}
+		}
 		psp.SetInt("replacements", int64(n))
 		psp.End()
 		if n == 0 {
@@ -244,6 +261,14 @@ func Optimize(c *circuit.Circuit, opt Options) (*Result, error) {
 	work.EndJournal()
 	work, _ = work.Compact()
 	work.PreservePONames(poNames)
+	if opt.Check {
+		if err := circuit.Check(work); err != nil {
+			return nil, fmt.Errorf("resynth: final circuit: %w", err)
+		}
+		if err := circuit.CheckComparisonUnits(work); err != nil {
+			return nil, fmt.Errorf("resynth: final circuit: %w", err)
+		}
+	}
 	res.Circuit = work
 	res.GatesAfter = work.Equiv2Count()
 	res.PathsAfter = paths.MustCount(work)
@@ -440,6 +465,7 @@ func (o *optimizer) refresh(c *circuit.Circuit, touched map[int]bool) {
 	// Dirty closure over fanouts.
 	dirty := make([]bool, n)
 	stack := o.scratch[:0]
+	//lint:ordered stack seeds a reachability closure; the dirty[] fixpoint is the same set for any visit order
 	for id := range touched {
 		if id < n && !dirty[id] {
 			stack = append(stack, id)

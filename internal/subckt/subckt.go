@@ -93,6 +93,7 @@ func newSub(c *circuit.Circuit, g int, gates map[int]bool) *Subcircuit {
 	// Constants inside cost nothing and have fixed values; absorb them so
 	// they never occupy input slots.
 	inSet := map[int]bool{}
+	//lint:ordered inserted entries are constants with no fanin, so visiting them is a no-op and inSet is the same either way
 	for id := range gates {
 		for _, f := range c.Nodes[id].Fanin {
 			if gates[f] {
@@ -141,6 +142,7 @@ func (s *Subcircuit) Key() Key {
 		return s.key
 	}
 	k := Key{Out: int32(s.Out), N: int32(len(s.Gates))}
+	//lint:ordered commutative fold: mod-2^128 addition and XOR of per-gate digests give the same key for any order
 	for id := range s.Gates {
 		d := digest.New().Int(id)
 		var carry uint64

@@ -19,8 +19,37 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
+echo "== sftlint =="
+# Repo-specific static analysis (cmd/sftlint, internal/lint): wall-clock and
+# global-RNG bans in deterministic packages, map-iteration-order hazards,
+# obs metric naming, par.Cache key types, and circuit-node mutation
+# discipline. Two directions: the tree must lint clean, and the injected-
+# violation fixtures must still fail — a rule that silently stops firing is
+# as bad as a dirty tree.
+# Run the built binary, not "go run": go run collapses every non-zero exit
+# to 1, and the fixture gate below must distinguish findings (1) from a
+# load failure (2).
+sftlint="$(mktemp)"
+trap 'rm -f "$sftlint"' EXIT
+go build -o "$sftlint" ./cmd/sftlint
+"$sftlint" ./...
+set +e
+"$sftlint" -det-all internal/lint/testdata/src/... >/dev/null 2>&1
+sftlint_status=$?
+set -e
+if [ "$sftlint_status" -ne 1 ]; then
+    echo "sftlint: fixture run exited $sftlint_status, want 1 (findings)" >&2
+    exit 1
+fi
+
 echo "== go test -race =="
 go test -race ./...
+
+echo "== fuzz smoke =="
+# A few seconds of parser fuzzing (FuzzParseBench): replays the committed
+# corpus (including past crashers) and hunts briefly for new ones. Accepted
+# netlists must pass circuit.Check and round-trip through the writer.
+go test ./internal/bench -fuzz FuzzParseBench -fuzztime 5s -run '^$' >/dev/null
 
 echo "== bench smoke =="
 # One iteration of every benchmark, no measurement: catches benches that no
@@ -37,7 +66,7 @@ echo "== obsdiff smoke =="
 # circuit fails CI here; the injected-regression direction of the gate is
 # covered by the internal/obsdiff tests.
 fresh="$(mktemp)"
-trap 'rm -f "$fresh"' EXIT
+trap 'rm -f "$sftlint" "$fresh"' EXIT
 go run ./cmd/sft -in circuits/adder4.bench -report -workers 2 \
     -metrics-out "$fresh" >/dev/null
 go run ./cmd/obsdiff -tol 0 -tol-time 100 \
@@ -59,7 +88,7 @@ echo "== bench gate =="
 # which is all this hardware can resolve. Tighten on a quiet dedicated
 # machine with e.g. BENCH_TOL_NS=0.10 scripts/ci.sh.
 benchgate="$(mktemp)"
-trap 'rm -f "$fresh" "$benchgate"' EXIT
+trap 'rm -f "$sftlint" "$fresh" "$benchgate"' EXIT
 scripts/bench.sh 'Table2Procedure2|ResynthParallel|AblationIdentify' 1 "$benchgate" 20x >/dev/null
 go run ./cmd/obsdiff -tol-bench "${BENCH_TOL_NS:-1.0}" -tol-alloc 0.01 \
     BENCH_2026-08-06_lean.json "$benchgate"
