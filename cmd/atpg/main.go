@@ -18,6 +18,7 @@ import (
 	"compsynth/internal/atpg"
 	"compsynth/internal/faults"
 	"compsynth/internal/faultsim"
+	_ "compsynth/internal/ledger" // wires the -events ledger and -cert certifier
 	"compsynth/internal/obs"
 	_ "compsynth/internal/obs/telemetry" // wires the -listen telemetry server
 )
@@ -42,6 +43,10 @@ func main() {
 	if err := run.CheckCircuit("input", c); err != nil {
 		os.Exit(run.Fail(err))
 	}
+	run.SetCertOptions(struct {
+		Backtracks int `json:"backtracks"`
+		Filter     int `json:"filter"`
+	}{*backtracks, *filter})
 	fl := faults.Collapse(c)
 	lg.Printf("%s: %v, %d collapsed faults", c.Name, c.Stats(), len(fl))
 

@@ -16,6 +16,7 @@ import (
 	"compsynth"
 	"compsynth/internal/faults"
 	"compsynth/internal/faultsim"
+	_ "compsynth/internal/ledger" // wires the -events ledger and -cert certifier
 	"compsynth/internal/obs"
 	_ "compsynth/internal/obs/telemetry" // wires the -listen telemetry server
 )
@@ -40,6 +41,10 @@ func main() {
 	if err := run.CheckCircuit("input", c); err != nil {
 		os.Exit(run.Fail(err))
 	}
+	run.SetCertOptions(struct {
+		Patterns int   `json:"patterns"`
+		Seed     int64 `json:"seed"`
+	}{*patterns, *seed})
 	fl := faults.Collapse(c)
 	res := faultsim.Campaign(c, fl, faultsim.CampaignOptions{
 		Patterns: *patterns, Seed: *seed, Workers: oflags.Workers, Tracer: run.Tracer,

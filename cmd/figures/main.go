@@ -15,6 +15,7 @@ import (
 	"compsynth/internal/bench"
 	"compsynth/internal/compare"
 	"compsynth/internal/delay"
+	_ "compsynth/internal/ledger" // wires the -events ledger and -cert certifier
 	"compsynth/internal/obs"
 	_ "compsynth/internal/obs/telemetry" // wires the -listen telemetry server
 	"compsynth/internal/paths"
@@ -50,6 +51,9 @@ func main() {
 	flag.Parse()
 	run := oflags.Start("figures")
 	lg := run.Log
+	run.SetCertOptions(struct {
+		Figures string `json:"figures"`
+	}{"1-6"})
 
 	// Figure 1: the comparison unit for the Section 3.1 example
 	// (L=5, U=10 after permuting f2's inputs).

@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"compsynth"
+	_ "compsynth/internal/ledger" // wires the -events ledger and -cert certifier
 	"compsynth/internal/obs"
 	_ "compsynth/internal/obs/telemetry" // wires the -listen telemetry server
 	"compsynth/internal/paths"
@@ -38,6 +39,10 @@ func main() {
 	if err := run.CheckCircuit("input", c); err != nil {
 		os.Exit(run.Fail(err))
 	}
+	run.SetCertOptions(struct {
+		PerOutput bool   `json:"per_output"`
+		Through   string `json:"through,omitempty"`
+	}{*perOutput, *through})
 	sp := run.Tracer.StartSpan("pathcount.label")
 	total := compsynth.CountPathsBig(c)
 	sp.End()

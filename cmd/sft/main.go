@@ -18,6 +18,7 @@ import (
 	"compsynth/internal/delay"
 	"compsynth/internal/faults"
 	"compsynth/internal/faultsim"
+	_ "compsynth/internal/ledger" // wires the -events ledger and -cert certifier
 	"compsynth/internal/obs"
 	_ "compsynth/internal/obs/telemetry" // wires the -listen telemetry server
 	"compsynth/internal/redundancy"
@@ -83,6 +84,18 @@ func sft(run *obs.Run, in, out string, obj resynth.Objective, k int,
 	if err := run.CheckCircuit("input", c); err != nil {
 		return err
 	}
+	// The semantic options that determine the output, for the certificate
+	// (machine knobs like -workers are deliberately excluded: they do not
+	// change the result, and certificates must not depend on the host).
+	run.SetCertOptions(struct {
+		Objective  string `json:"objective"`
+		K          int    `json:"k"`
+		Sampling   bool   `json:"sampling"`
+		Redundancy bool   `json:"redundancy"`
+		MaxUnits   int    `json:"max_units"`
+		SDC        bool   `json:"sdc"`
+		Seed       int64  `json:"seed"`
+	}{obj.String(), k, sampling, redund, maxUnits, useSDC, seed})
 	lg.Printf("loaded %s: %v", in, c.Stats())
 	p0, err := compsynth.CountPaths(c)
 	if err != nil {
@@ -100,12 +113,16 @@ func sft(run *obs.Run, in, out string, obj resynth.Objective, k int,
 	opt.Workers = workers
 	opt.Tracer = run.Tracer
 	opt.Check = run.CheckEnabled()
+	opt.Certify = run.CertEnabled()
 	lg.Verbosef("resynthesis starting (objective=%v K=%d sampling=%v)", obj, k, sampling)
 	res, err := compsynth.Optimize(c, opt)
 	if err != nil {
 		return err
 	}
 	run.Report.AddResult("resynth", res)
+	for _, ev := range res.Evidence {
+		run.AddEvidence(ev)
+	}
 	lg.Printf("resynthesis (%v, K=%d): %v", obj, k, res)
 
 	final := res.Circuit

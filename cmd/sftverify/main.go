@@ -1,0 +1,245 @@
+// Command sftverify replays a run's tamper-evident artifacts offline and
+// reports whether they hold up: the hash-chained event ledger (-events
+// output), the run certificate (-cert output), and — when the netlists are
+// provided — the circuit digests, the equivalence witness, every
+// per-replacement evidence entry, and the comparison-unit path bound.
+//
+// Usage:
+//
+//	sftverify [-ledger events.ndjson] [-cert cert.json]
+//	          [-in input.bench] [-out output.bench] [-report report.json]
+//
+// At least one of -ledger and -cert is required. When both are given the
+// cross-binding is checked in both directions: the certificate's body digest
+// must appear as a "cert" record in the sealed ledger, and the ledger's
+// chain head and final root must match the certificate's binding.
+//
+// Exit status: 0 — everything verified; 1 — verification failed (tampering,
+// forgery or corruption detected); 2 — usage or I/O error (nothing could be
+// verified either way).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"compsynth"
+	"compsynth/internal/circuit"
+	"compsynth/internal/ledger"
+)
+
+// reportOut is the JSON verification report (-report, and always printed to
+// stdout).
+type reportOut struct {
+	OK     bool                `json:"ok"`
+	Checks []checkOut          `json:"checks"`
+	Ledger *ledger.ChainResult `json:"ledger,omitempty"`
+}
+
+type checkOut struct {
+	Name  string `json:"name"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	Note  string `json:"note,omitempty"`
+}
+
+type verifier struct {
+	rep reportOut
+}
+
+func (v *verifier) check(name string, note string, err error) {
+	c := checkOut{Name: name, OK: err == nil, Note: note}
+	if err != nil {
+		c.Error = err.Error()
+	}
+	v.rep.Checks = append(v.rep.Checks, c)
+}
+
+func main() {
+	ledgerPath := flag.String("ledger", "", "verify this ledger stream (an -events NDJSON file)")
+	certPath := flag.String("cert", "", "verify this run certificate (a -cert JSON file)")
+	inPath := flag.String("in", "", "the run's input .bench netlist (checked against the certificate)")
+	outPath := flag.String("out", "", "the run's output .bench netlist (checked against the certificate)")
+	reportPath := flag.String("report", "", "also write the JSON verification report to this file")
+	flag.Parse()
+	if *ledgerPath == "" && *certPath == "" || flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: sftverify [-ledger events.ndjson] [-cert cert.json] [-in input.bench] [-out output.bench] [-report report.json]")
+		os.Exit(2)
+	}
+
+	v := &verifier{}
+	var chain *ledger.ChainResult
+	var cert *ledger.Certificate
+
+	if *ledgerPath != "" {
+		data, err := os.ReadFile(*ledgerPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sftverify: %v\n", err)
+			os.Exit(2)
+		}
+		res, err := ledger.VerifyChain(data)
+		note := ""
+		if err == nil {
+			note = fmt.Sprintf("%d records, %d events, %d batches", res.Records, res.Events, res.Batches)
+			if res.Truncated {
+				note += fmt.Sprintf("; TRUNCATED: valid prefix up to seq %d, no final root", res.Records-1)
+			}
+		}
+		v.check("ledger.chain", note, err)
+		chain = res
+		v.rep.Ledger = res
+	}
+
+	if *certPath != "" {
+		c, err := ledger.ReadCertificate(*certPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sftverify: %v\n", err)
+			os.Exit(2)
+		}
+		cert = c
+		verifyCert(v, cert, chain, *inPath, *outPath)
+	}
+
+	v.rep.OK = true
+	for _, c := range v.rep.Checks {
+		if !c.OK {
+			v.rep.OK = false
+		}
+	}
+	raw, _ := json.MarshalIndent(&v.rep, "", "  ")
+	raw = append(raw, '\n')
+	os.Stdout.Write(raw)
+	if *reportPath != "" {
+		if err := os.WriteFile(*reportPath, raw, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "sftverify: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if !v.rep.OK {
+		os.Exit(1)
+	}
+}
+
+// verifyCert runs every certificate-side check that the provided inputs
+// allow.
+func verifyCert(v *verifier, cert *ledger.Certificate, chain *ledger.ChainResult, inPath, outPath string) {
+	// Body digest: the certificate must hash to what it claims.
+	dg, err := ledger.BodyDigest(cert)
+	if err == nil && dg != cert.BodyDigest {
+		err = fmt.Errorf("body digest mismatch: file says %s, content hashes to %s", cert.BodyDigest, dg)
+	}
+	v.check("cert.body_digest", "", err)
+
+	// Ledger binding, both directions.
+	if chain != nil {
+		if cert.Ledger == nil {
+			v.check("cert.ledger_binding", "", fmt.Errorf("certificate carries no ledger binding"))
+		} else {
+			var err error
+			switch {
+			case cert.Ledger.Head != chain.Head:
+				err = fmt.Errorf("chain head mismatch: certificate %s, ledger %s", cert.Ledger.Head, chain.Head)
+			case cert.Ledger.FinalRoot != chain.FinalRoot:
+				err = fmt.Errorf("final root mismatch: certificate %s, ledger %s", cert.Ledger.FinalRoot, chain.FinalRoot)
+			case cert.Ledger.Records != chain.Events || cert.Ledger.Batches != chain.Batches:
+				err = fmt.Errorf("count mismatch: certificate %d records/%d batches, ledger %d/%d",
+					cert.Ledger.Records, cert.Ledger.Batches, chain.Events, chain.Batches)
+			}
+			v.check("cert.ledger_binding", "", err)
+			found := false
+			for _, d := range chain.CertDigests {
+				if d == cert.BodyDigest {
+					found = true
+				}
+			}
+			err = nil
+			if !found {
+				err = fmt.Errorf("certificate body digest not recorded in the ledger stream")
+			}
+			v.check("ledger.cert_record", "", err)
+		}
+	}
+
+	in := loadAndCheckCircuit(v, "input", inPath, cert.Input)
+	out := loadAndCheckCircuit(v, "output", outPath, cert.Output)
+
+	// Equivalence witness: replay the recorded patterns on both netlists.
+	if cert.Equivalence != nil && in != nil && out != nil {
+		w := cert.Equivalence
+		err := func() error {
+			ri, err := ledger.WitnessResponse(in, w.Mode, w.Seed, w.Rounds)
+			if err != nil {
+				return err
+			}
+			ro, err := ledger.WitnessResponse(out, w.Mode, w.Seed, w.Rounds)
+			if err != nil {
+				return err
+			}
+			if ri != w.Response {
+				return fmt.Errorf("input circuit response %s != recorded %s", ri, w.Response)
+			}
+			if ro != w.Response {
+				return fmt.Errorf("output circuit response %s != recorded %s", ro, w.Response)
+			}
+			return nil
+		}()
+		v.check("cert.equivalence", w.Mode, err)
+	}
+
+	// Per-replacement evidence: self-contained, needs no netlist.
+	evErr := error(nil)
+	for _, ev := range cert.Evidence {
+		if err := ledger.VerifyEvidence(ev); err != nil && evErr == nil {
+			evErr = err
+		}
+	}
+	v.check("cert.evidence", fmt.Sprintf("%d replacements", len(cert.Evidence)), evErr)
+
+	// Path proof: recompute the comparison-unit bound on the output netlist.
+	if cert.PathProof != nil && out != nil {
+		err := func() error {
+			if err := circuit.CheckWith(out, circuit.CheckOptions{AllowUnreachable: true}); err != nil {
+				return err
+			}
+			if err := circuit.CheckComparisonUnits(out); err != nil {
+				return err
+			}
+			units, maxPaths := circuit.ComparisonUnitStats(out)
+			if units != cert.PathProof.Units || maxPaths != cert.PathProof.MaxPathsPerInput {
+				return fmt.Errorf("recomputed %d units / max %d paths, certificate says %d / %d",
+					units, maxPaths, cert.PathProof.Units, cert.PathProof.MaxPathsPerInput)
+			}
+			if maxPaths > cert.PathProof.Bound {
+				return fmt.Errorf("path bound violated: %d > %d", maxPaths, cert.PathProof.Bound)
+			}
+			return nil
+		}()
+		v.check("cert.path_proof", "", err)
+	}
+}
+
+// loadAndCheckCircuit loads a netlist and checks it against the
+// certificate's identity for that side. Returns nil when no path was given.
+func loadAndCheckCircuit(v *verifier, side, path string, cc *ledger.CircuitCert) *circuit.Circuit {
+	if path == "" {
+		return nil
+	}
+	c, err := compsynth.LoadBench(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sftverify: %v\n", err)
+		os.Exit(2)
+	}
+	err = nil
+	if cc == nil {
+		err = fmt.Errorf("certificate records no %s circuit", side)
+	} else if got := ledger.CircuitDigest(c).Hex(); got != cc.Digest {
+		err = fmt.Errorf("%s netlist digest %s != certificate %s", side, got, cc.Digest)
+	}
+	v.check("cert."+side+"_digest", "", err)
+	if err != nil {
+		return nil
+	}
+	return c
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"compsynth/internal/exper"
+	_ "compsynth/internal/ledger" // wires the -events ledger and -cert certifier
 	"compsynth/internal/obs"
 	_ "compsynth/internal/obs/telemetry" // wires the -listen telemetry server
 )
@@ -62,6 +63,16 @@ func main() {
 	orun := oflags.Start("tables")
 	lg := orun.Log
 	cfg.Tracer = orun.Tracer
+	orun.SetCertOptions(struct {
+		Table    string   `json:"table"`
+		Scale    float64  `json:"scale"`
+		Quick    bool     `json:"quick"`
+		Seed     int64    `json:"seed"`
+		Patterns int      `json:"patterns"`
+		Pairs    int      `json:"pairs"`
+		Circuits []string `json:"circuits,omitempty"`
+		Verify   bool     `json:"verify"`
+	}{*table, cfg.Scale, *quick, cfg.Seed, cfg.StuckPatterns, cfg.PDFPairs, cfg.Circuits, cfg.Verify})
 
 	start := time.Now()
 	lg.Printf("# preparing suite (scale=%.2f, irredundant=%v)", cfg.Scale, cfg.MakeIrredundant)

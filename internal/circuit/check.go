@@ -344,6 +344,33 @@ var unitPrefixRe = regexp.MustCompile(`^cu\d+_(?:u\d+_)?`)
 // by the cu<id>_ name prefix stamped by the optimizer; circuits without such
 // nodes pass vacuously.
 func CheckComparisonUnits(c *Circuit) error {
+	keys, groups := unitGroups(c)
+	for _, k := range keys {
+		if err := checkUnitGroup(c, k, groups[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ComparisonUnitStats summarizes the comparison-unit path audit as data
+// instead of a pass/fail verdict: the number of unit groups found and the
+// maximum in-group path count from any external input to any group output.
+// A certificate records (units, maxPaths) as the proof summary; maxPaths <= 2
+// iff CheckComparisonUnits accepts the circuit.
+func ComparisonUnitStats(c *Circuit) (units int, maxPaths uint64) {
+	keys, groups := unitGroups(c)
+	for _, k := range keys {
+		if m, _, _ := groupMaxPaths(c, groups[k]); m > maxPaths {
+			maxPaths = m
+		}
+	}
+	return len(keys), maxPaths
+}
+
+// unitGroups collects the live nodes stamped with a comparison-unit name
+// prefix, grouped by that prefix, with the keys in sorted order.
+func unitGroups(c *Circuit) ([]string, map[string][]int) {
 	groups := map[string][]int{}
 	for _, nd := range c.Nodes {
 		if nd == nil || nd.Type == dead {
@@ -353,25 +380,29 @@ func CheckComparisonUnits(c *Circuit) error {
 			groups[m] = append(groups[m], nd.ID)
 		}
 	}
-	if len(groups) == 0 {
-		return nil
-	}
 	keys := make([]string, 0, len(groups))
 	for k := range groups {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	for _, k := range keys {
-		if err := checkUnitGroup(c, k, groups[k]); err != nil {
-			return err
-		}
-	}
-	return nil
+	return keys, groups
 }
 
 // checkUnitGroup bounds the in-group path count from every external input of
 // the group to every sink of the group.
 func checkUnitGroup(c *Circuit, key string, members []int) error {
+	max, from, to := groupMaxPaths(c, members)
+	if max > 2 {
+		return fmt.Errorf("comparison unit %s: %d paths from input %s to output %s (bound is 2)",
+			key, max, c.Nodes[from].Name, c.Nodes[to].Name)
+	}
+	return nil
+}
+
+// groupMaxPaths computes the maximum in-group path count over every
+// (external input, sink) pair of one unit group, returning the first pair
+// attaining it (in sorted scan order).
+func groupMaxPaths(c *Circuit, members []int) (max uint64, from, to int) {
 	in := map[int]bool{}
 	for _, id := range members {
 		in[id] = true
@@ -444,11 +475,10 @@ func checkUnitGroup(c *Circuit, key string, members []int) error {
 			np[id] = sum
 		}
 		for _, s := range sinks {
-			if np[s] > 2 {
-				return fmt.Errorf("comparison unit %s: %d paths from input %s to output %s (bound is 2)",
-					key, np[s], c.Nodes[x].Name, c.Nodes[s].Name)
+			if np[s] > max {
+				max, from, to = np[s], x, s
 			}
 		}
 	}
-	return nil
+	return max, from, to
 }

@@ -1,0 +1,348 @@
+package ledger
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+
+	"compsynth/internal/circuit"
+	"compsynth/internal/digest"
+	"compsynth/internal/obs"
+	"compsynth/internal/simulate"
+)
+
+// CertVersion is the certificate format version.
+const CertVersion = 1
+
+// circuitMagic versions the canonical netlist serialization CircuitDigest
+// hashes.
+const circuitMagic = "sft-circuit/v1"
+
+// Witness parameters: cones up to maxExhaustiveInputs primary inputs get an
+// exhaustive response digest; larger circuits get sampledRounds*64 seeded
+// random patterns (matching the pipeline's own equivalence-check defaults).
+const (
+	maxExhaustiveInputs = 14
+	sampledRounds       = 32
+)
+
+// Certificate is the verifiable record of one run: what went in, what came
+// out, and the evidence that the two agree. Every field except Ledger and
+// BodyDigest is deterministic — no wall clock, no host state — so two runs
+// on identical inputs and options produce byte-identical bodies.
+type Certificate struct {
+	Version int    `json:"version"`
+	Tool    string `json:"tool"`
+	Error   string `json:"error,omitempty"`
+
+	Options *OptionsInfo `json:"options,omitempty"`
+	Input   *CircuitCert `json:"input,omitempty"`
+	Output  *CircuitCert `json:"output,omitempty"`
+
+	// Equivalence is the input/output functional-agreement witness (present
+	// when the run observed both circuits).
+	Equivalence *EquivWitness `json:"equivalence,omitempty"`
+
+	// Evidence holds one entry per resynthesis replacement, recorded at
+	// replacement time (resynth.Options.Certify).
+	Evidence []Evidence `json:"evidence,omitempty"`
+
+	// PathProof summarizes the paper's testability guarantee on the output
+	// circuit: every comparison unit keeps at most Bound paths from any
+	// input to any output (Lemma 1 / CheckComparisonUnits).
+	PathProof *PathProof `json:"path_proof,omitempty"`
+
+	// BodyDigest is the digest of this certificate marshaled with BodyDigest
+	// and Ledger cleared. The same value is appended to the event ledger as
+	// a "cert" record before sealing.
+	BodyDigest string `json:"body_digest"`
+
+	// Ledger binds the certificate to the -events stream that produced it
+	// (absent when the run had no -events).
+	Ledger *Binding `json:"ledger,omitempty"`
+}
+
+// OptionsInfo echoes the command's semantic options and their digest.
+type OptionsInfo struct {
+	Echo   json.RawMessage `json:"echo"`
+	Digest string          `json:"digest"`
+}
+
+// CircuitCert identifies one netlist by shape and canonical digest.
+type CircuitCert struct {
+	Name    string `json:"name"`
+	Inputs  int    `json:"inputs"`
+	Outputs int    `json:"outputs"`
+	Gates   int    `json:"gates"`
+	Equiv2  int    `json:"equiv2"`
+	Digest  string `json:"digest"`
+}
+
+// EquivWitness records how input/output agreement was established: an
+// exhaustive sweep for small input counts, otherwise Rounds*64 random
+// patterns from Seed. Response is the shared output-response digest; a
+// verifier with the two netlists replays the same patterns and must land on
+// the same value for both.
+type EquivWitness struct {
+	Mode     string `json:"mode"` // "exhaustive" or "sampled"
+	Seed     int64  `json:"seed,omitempty"`
+	Rounds   int    `json:"rounds,omitempty"`
+	Inputs   int    `json:"inputs"`
+	Outputs  int    `json:"outputs"`
+	Response string `json:"response"`
+}
+
+// PathProof summarizes the comparison-unit path bound on the output circuit.
+type PathProof struct {
+	Units            int    `json:"units"`
+	MaxPathsPerInput uint64 `json:"max_paths_per_input"`
+	Bound            uint64 `json:"bound"`
+}
+
+// Binding ties the certificate to its sealed event ledger.
+type Binding struct {
+	Records   int64  `json:"records"`
+	Batches   int64  `json:"batches"`
+	Head      string `json:"head"`
+	FinalRoot string `json:"final_root,omitempty"`
+}
+
+// CircuitDigest hashes a canonical serialization of the netlist: primary
+// input names in declaration order, primary output names in declaration
+// order, then one "name = TYPE(fanin,...)" line per gate sorted by gate
+// name. The form depends only on names, gate types and pin order — never on
+// node IDs or construction order — so it is invariant under .bench
+// write/parse round trips.
+func CircuitDigest(c *circuit.Circuit) digest.D {
+	d := digest.New().Bytes([]byte(circuitMagic))
+	d = d.Int(len(c.Inputs))
+	for _, id := range c.Inputs {
+		d = d.Bytes([]byte(c.Nodes[id].Name))
+	}
+	d = d.Int(len(c.Outputs))
+	for _, id := range c.Outputs {
+		d = d.Bytes([]byte(c.Nodes[id].Name))
+	}
+	var lines []string
+	var sb strings.Builder
+	for _, id := range c.Topo() {
+		nd := c.Nodes[id]
+		if nd.Type == circuit.Input {
+			continue
+		}
+		sb.Reset()
+		sb.WriteString(nd.Name)
+		sb.WriteString(" = ")
+		sb.WriteString(nd.Type.String())
+		sb.WriteByte('(')
+		for i, f := range nd.Fanin {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(c.Nodes[f].Name)
+		}
+		sb.WriteByte(')')
+		lines = append(lines, sb.String())
+	}
+	sort.Strings(lines)
+	d = d.Int(len(lines))
+	for _, ln := range lines {
+		d = d.Bytes([]byte(ln))
+	}
+	return d
+}
+
+func circuitCert(c *circuit.Circuit) *CircuitCert {
+	return &CircuitCert{
+		Name:    c.Name,
+		Inputs:  len(c.Inputs),
+		Outputs: len(c.Outputs),
+		Gates:   c.NumGates(),
+		Equiv2:  c.Equiv2Count(),
+		Digest:  CircuitDigest(c).Hex(),
+	}
+}
+
+// WitnessParams derives the witness mode, seed and round count from the two
+// circuit digests and the input count. The seed is a function of the
+// netlists themselves, so neither the producer nor a forger gets to pick
+// favorable patterns.
+func WitnessParams(inputDigest, outputDigest string, inputs int) (mode string, seed int64, rounds int) {
+	if inputs <= maxExhaustiveInputs {
+		return "exhaustive", 0, 0
+	}
+	d := digest.New().Bytes([]byte(inputDigest)).Bytes([]byte(outputDigest))
+	return "sampled", int64(d.Lo), sampledRounds
+}
+
+// WitnessResponse simulates c under the witness patterns and digests the
+// primary-output responses. Two circuits are pattern-equivalent under the
+// witness iff their responses match.
+func WitnessResponse(c *circuit.Circuit, mode string, seed int64, rounds int) (string, error) {
+	s := simulate.New(c)
+	n := len(c.Inputs)
+	d := digest.New()
+	switch mode {
+	case "exhaustive":
+		if n > maxExhaustiveInputs {
+			return "", fmt.Errorf("exhaustive witness over %d inputs (max %d)", n, maxExhaustiveInputs)
+		}
+		total := uint64(1) << n
+		for base := uint64(0); base < total; base += 64 {
+			for j := 0; j < n; j++ {
+				var w uint64
+				for b := uint64(0); b < 64 && base+b < total; b++ {
+					if (base+b)>>uint(j)&1 == 1 {
+						w |= 1 << b
+					}
+				}
+				s.SetInput(j, w)
+			}
+			s.Run()
+			m := maskRemaining(total - base)
+			for j := range c.Outputs {
+				d = d.Word(s.Output(j) & m)
+			}
+		}
+	case "sampled":
+		rng := rand.New(rand.NewSource(seed))
+		for r := 0; r < rounds; r++ {
+			for j := 0; j < n; j++ {
+				s.SetInput(j, rng.Uint64())
+			}
+			s.Run()
+			for j := range c.Outputs {
+				d = d.Word(s.Output(j))
+			}
+		}
+	default:
+		return "", fmt.Errorf("unknown witness mode %q", mode)
+	}
+	return d.Hex(), nil
+}
+
+func maskRemaining(remaining uint64) uint64 {
+	if remaining >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << remaining) - 1
+}
+
+// buildCertBody assembles the deterministic certificate body from the run
+// state and returns it with its body digest. Registered as the obs -cert
+// seam.
+func buildCertBody(r *obs.Run) (any, string, error) {
+	cert := &Certificate{
+		Version: CertVersion,
+		Tool:    r.Report.Tool,
+		Error:   r.Report.Error,
+	}
+	if raw := r.CertOptions(); raw != nil {
+		cert.Options = &OptionsInfo{
+			Echo:   raw,
+			Digest: digest.New().Bytes(raw).Hex(),
+		}
+	}
+	before, after := r.CertCircuits()
+	if before != nil {
+		cert.Input = circuitCert(before)
+	}
+	if after != nil {
+		cert.Output = circuitCert(after)
+	}
+	if before != nil && after != nil &&
+		len(before.Inputs) == len(after.Inputs) && len(before.Outputs) == len(after.Outputs) {
+		mode, seed, rounds := WitnessParams(cert.Input.Digest, cert.Output.Digest, len(before.Inputs))
+		respIn, err := WitnessResponse(before, mode, seed, rounds)
+		if err != nil {
+			return nil, "", fmt.Errorf("witness on input circuit: %v", err)
+		}
+		respOut, err := WitnessResponse(after, mode, seed, rounds)
+		if err != nil {
+			return nil, "", fmt.Errorf("witness on output circuit: %v", err)
+		}
+		if respIn != respOut {
+			return nil, "", fmt.Errorf("witness: input and output circuits disagree (%s mode)", mode)
+		}
+		cert.Equivalence = &EquivWitness{
+			Mode: mode, Seed: seed, Rounds: rounds,
+			Inputs: len(before.Inputs), Outputs: len(before.Outputs),
+			Response: respIn,
+		}
+	}
+	for _, item := range r.CertEvidence() {
+		ev, ok := item.(Evidence)
+		if !ok {
+			return nil, "", fmt.Errorf("evidence item of unexpected type %T", item)
+		}
+		cert.Evidence = append(cert.Evidence, ev)
+	}
+	proofOn := after
+	if proofOn == nil {
+		proofOn = before
+	}
+	if proofOn != nil {
+		units, maxPaths := circuit.ComparisonUnitStats(proofOn)
+		cert.PathProof = &PathProof{Units: units, MaxPathsPerInput: maxPaths, Bound: 2}
+	}
+	dg, err := BodyDigest(cert)
+	if err != nil {
+		return nil, "", err
+	}
+	cert.BodyDigest = dg
+	return cert, dg, nil
+}
+
+// BodyDigest computes the digest of the certificate body: the certificate
+// marshaled with BodyDigest and Ledger cleared.
+func BodyDigest(cert *Certificate) (string, error) {
+	body := *cert
+	body.BodyDigest = ""
+	body.Ledger = nil
+	raw, err := json.Marshal(&body)
+	if err != nil {
+		return "", err
+	}
+	return digest.New().Bytes(raw).Hex(), nil
+}
+
+// writeCert attaches the sealed ledger binding and writes the certificate
+// file. Registered as the obs -cert seam.
+func writeCert(body any, ls *obs.LedgerState, path string) error {
+	cert, ok := body.(*Certificate)
+	if !ok {
+		return fmt.Errorf("certificate body of unexpected type %T", body)
+	}
+	if ls != nil {
+		cert.Ledger = &Binding{
+			Records:   ls.Records,
+			Batches:   ls.Batches,
+			Head:      ls.Head,
+			FinalRoot: ls.FinalRoot,
+		}
+	}
+	raw, err := json.MarshalIndent(cert, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// ReadCertificate loads and parses a certificate file.
+func ReadCertificate(path string) (*Certificate, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cert Certificate
+	if err := json.Unmarshal(raw, &cert); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if cert.Version != CertVersion {
+		return nil, fmt.Errorf("%s: unsupported certificate version %d", path, cert.Version)
+	}
+	return &cert, nil
+}

@@ -1,0 +1,103 @@
+package ledger
+
+import (
+	"fmt"
+
+	"compsynth/internal/compare"
+	"compsynth/internal/logic"
+)
+
+// SpecInfo is the JSON form of a comparison-function realization
+// (compare.Spec or compare.MultiSpec), complete enough to reconstruct the
+// realization and recompute its truth table during verification.
+type SpecInfo struct {
+	Kind       string   `json:"kind"` // "cmp" or "multi"
+	N          int      `json:"n"`
+	Perm       []int    `json:"perm"`
+	L          int      `json:"l,omitempty"`         // cmp only
+	U          int      `json:"u,omitempty"`         // cmp only
+	Intervals  [][2]int `json:"intervals,omitempty"` // multi only
+	Complement bool     `json:"complement,omitempty"`
+}
+
+// SpecInfoOf captures a realization for the certificate.
+func SpecInfoOf(r compare.Realization) SpecInfo {
+	switch s := r.(type) {
+	case compare.Spec:
+		return SpecInfo{Kind: "cmp", N: s.N, Perm: s.Perm, L: s.L, U: s.U, Complement: s.Complement}
+	case compare.MultiSpec:
+		return SpecInfo{Kind: "multi", N: s.N, Perm: s.Perm, Intervals: s.Intervals, Complement: s.Complement}
+	default:
+		panic(fmt.Sprintf("ledger: unknown realization type %T", r))
+	}
+}
+
+// Realization reconstructs the compare realization the info describes.
+func (si SpecInfo) Realization() (compare.Realization, error) {
+	switch si.Kind {
+	case "cmp":
+		s := compare.Spec{N: si.N, Perm: si.Perm, L: si.L, U: si.U, Complement: si.Complement}
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case "multi":
+		m := compare.MultiSpec{N: si.N, Perm: si.Perm, Intervals: si.Intervals, Complement: si.Complement}
+		if err := m.Validate(); err != nil {
+			return nil, err
+		}
+		if len(m.Intervals) == 0 {
+			return nil, fmt.Errorf("ledger: multi spec with no intervals")
+		}
+		return m, nil
+	default:
+		return nil, fmt.Errorf("ledger: unknown spec kind %q", si.Kind)
+	}
+}
+
+// Evidence is one replacement's equivalence evidence, recorded by the
+// resynthesis engine at the moment it rewires a cone onto a comparison
+// unit: the extracted function (support-reduced truth table over Vars
+// inputs), the optional satisfiability-don't-care set it was matched
+// under, and the realization that replaced it. Verification reconstructs
+// the realization's table and checks it agrees with TT on every care
+// minterm — exhaustive over the cone's support, independent of the run.
+type Evidence struct {
+	Pass int      `json:"pass"`           // 1-based optimization pass
+	Gate string   `json:"gate"`           // name of the replaced node
+	Vars int      `json:"vars"`           // support size of the extracted cone
+	TT   string   `json:"tt"`             // hex truth table (logic.TT.Hex)
+	Care string   `json:"care,omitempty"` // hex care set; empty = fully specified
+	Spec SpecInfo `json:"spec"`
+}
+
+// VerifyEvidence re-derives the realization's truth table and checks the
+// claimed equivalence: spec table == TT on the care set (all minterms when
+// Care is empty).
+func VerifyEvidence(e Evidence) error {
+	tt, err := logic.FromHex(e.Vars, e.TT)
+	if err != nil {
+		return fmt.Errorf("gate %s: bad tt: %v", e.Gate, err)
+	}
+	r, err := e.Spec.Realization()
+	if err != nil {
+		return fmt.Errorf("gate %s: bad spec: %v", e.Gate, err)
+	}
+	got := r.Table()
+	if got.Vars() != e.Vars {
+		return fmt.Errorf("gate %s: spec over %d vars, cone over %d", e.Gate, got.Vars(), e.Vars)
+	}
+	diff := got.Xor(tt)
+	if e.Care != "" {
+		care, err := logic.FromHex(e.Vars, e.Care)
+		if err != nil {
+			return fmt.Errorf("gate %s: bad care set: %v", e.Gate, err)
+		}
+		diff = diff.And(care)
+	}
+	if !diff.IsConst(false) {
+		return fmt.Errorf("gate %s: realization disagrees with extracted function on %d care minterms",
+			e.Gate, diff.CountOnes())
+	}
+	return nil
+}

@@ -1,0 +1,188 @@
+package ledger
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"compsynth/internal/digest"
+	"compsynth/internal/obs"
+)
+
+// ChainResult summarizes a verified ledger stream.
+type ChainResult struct {
+	Records int64  `json:"records"` // total framed records (events + seals)
+	Events  int64  `json:"events"`  // event records
+	Batches int64  `json:"batches"` // sealed Merkle batches
+	Head    string `json:"head"`    // chain head after the last verified record
+	Final   bool   `json:"final"`   // final root record present and verified
+	// FinalRoot is the verified final Merkle root (empty unless Final).
+	FinalRoot string `json:"final_root,omitempty"`
+	// Truncated reports that the stream ends mid-record or before the final
+	// seal: everything up to Records is a verified prefix, but the run did
+	// not close cleanly (crash tolerance, not tampering).
+	Truncated bool `json:"truncated,omitempty"`
+	// CertDigests lists the certificate body digests recorded in the stream
+	// ("cert" events), in order.
+	CertDigests []string `json:"cert_digests,omitempty"`
+}
+
+// ledgerLine is the union of the three record shapes; pointer fields
+// discriminate which seal kind (if any) a line carries.
+type ledgerLine struct {
+	Seq       int64           `json:"seq"`
+	Chain     string          `json:"chain"`
+	Ev        json.RawMessage `json:"ev"`
+	Root      *string         `json:"root"`
+	Batch     *int64          `json:"batch"`
+	First     *int64          `json:"first"`
+	Last      *int64          `json:"last"`
+	FinalRoot *string         `json:"final_root"`
+	Batches   *int64          `json:"batches"`
+	Records   *int64          `json:"records"`
+}
+
+// VerifyChain replays a ledger stream and recomputes every chain link,
+// batch Merkle root and the final root. A stream whose last line is cut
+// mid-record or that stops before the final seal verifies as a valid prefix
+// with Truncated set (a crashed run is not a tampered one). Any divergence
+// inside the prefix — flipped bytes, a dropped, reordered or spliced
+// record, a forged root — returns an error naming the first bad sequence
+// number.
+func VerifyChain(data []byte) (*ChainResult, error) {
+	res := &ChainResult{Head: genesis().Hex()}
+	head := genesis()
+	var nextSeq int64
+	var leaves []digest.D // chain digests of events since the last batch seal
+	var roots []digest.D
+	var batchFirst, lastEvent int64
+	haveLeaves := false
+
+	lines := bytes.Split(data, []byte("\n"))
+	// A final newline (the normal case) leaves one empty trailing element;
+	// drop it so only genuinely cut lines count as truncation.
+	if n := len(lines); n > 0 && len(bytes.TrimSpace(lines[n-1])) == 0 {
+		lines = lines[:n-1]
+	}
+
+	for i, line := range lines {
+		if len(bytes.TrimSpace(line)) == 0 {
+			return res, fmt.Errorf("ledger: record %d (line %d): empty line inside stream", nextSeq, i+1)
+		}
+		var rec ledgerLine
+		if err := json.Unmarshal(line, &rec); err != nil {
+			if i == len(lines)-1 {
+				// Cut mid-write: the verified prefix stands.
+				res.Truncated = true
+				return res, nil
+			}
+			return res, fmt.Errorf("ledger: record %d (line %d): unparseable: %v", nextSeq, i+1, err)
+		}
+		if res.Final {
+			return res, fmt.Errorf("ledger: record %d: data after final root record", rec.Seq)
+		}
+		if rec.Seq != nextSeq {
+			// Distinguish the two seq-gap tampers: if the expected record
+			// appears later the stream was reordered; if it appears nowhere
+			// it was dropped.
+			if seqAppearsLater(lines[i:], nextSeq) {
+				return res, fmt.Errorf("ledger: record %d out of order (expected seq %d)", rec.Seq, nextSeq)
+			}
+			return res, fmt.Errorf("ledger: record %d missing (stream jumps to seq %d)", nextSeq, rec.Seq)
+		}
+
+		var payload []byte
+		switch {
+		case rec.FinalRoot != nil:
+			if rec.Batches == nil || rec.Records == nil {
+				return res, fmt.Errorf("ledger: record %d: malformed final record", rec.Seq)
+			}
+			payload = finalPayload(*rec.FinalRoot, *rec.Batches, *rec.Records)
+		case rec.Root != nil:
+			if rec.Batch == nil || rec.First == nil || rec.Last == nil {
+				return res, fmt.Errorf("ledger: record %d: malformed batch record", rec.Seq)
+			}
+			payload = batchPayload(*rec.Root, *rec.Batch, *rec.First, *rec.Last)
+		case rec.Ev != nil:
+			payload = rec.Ev
+		default:
+			return res, fmt.Errorf("ledger: record %d: unknown record kind", rec.Seq)
+		}
+
+		want := chainDigest(head, rec.Seq, payload)
+		if rec.Chain != want.Hex() {
+			return res, fmt.Errorf("ledger: record %d: chain mismatch (record tampered or stream spliced)", rec.Seq)
+		}
+
+		switch {
+		case rec.FinalRoot != nil:
+			final := merkleRoot(roots)
+			if *rec.FinalRoot != final.Hex() {
+				return res, fmt.Errorf("ledger: record %d: final root mismatch", rec.Seq)
+			}
+			if *rec.Batches != int64(len(roots)) || *rec.Records != res.Events {
+				return res, fmt.Errorf("ledger: record %d: final record counts disagree with stream (%d batches, %d events seen)",
+					rec.Seq, len(roots), res.Events)
+			}
+			if haveLeaves {
+				return res, fmt.Errorf("ledger: record %d: final root with %d unsealed events", rec.Seq, len(leaves))
+			}
+			res.Final = true
+			res.FinalRoot = *rec.FinalRoot
+		case rec.Root != nil:
+			if !haveLeaves {
+				return res, fmt.Errorf("ledger: record %d: batch root with no preceding events", rec.Seq)
+			}
+			root := merkleRoot(leaves)
+			if *rec.Root != root.Hex() {
+				return res, fmt.Errorf("ledger: record %d: batch root mismatch", rec.Seq)
+			}
+			if *rec.Batch != int64(len(roots)) || *rec.First != batchFirst || *rec.Last != lastEvent {
+				return res, fmt.Errorf("ledger: record %d: batch bounds disagree with stream", rec.Seq)
+			}
+			roots = append(roots, root)
+			res.Batches++
+			leaves = leaves[:0]
+			haveLeaves = false
+		default:
+			if !haveLeaves {
+				batchFirst = rec.Seq
+				haveLeaves = true
+			}
+			leaves = append(leaves, want)
+			lastEvent = rec.Seq
+			res.Events++
+			var ev obs.Event
+			if err := json.Unmarshal(rec.Ev, &ev); err == nil && ev.Type == "cert" && ev.Digest != "" {
+				res.CertDigests = append(res.CertDigests, ev.Digest)
+			}
+		}
+
+		head = want
+		res.Head = want.Hex()
+		res.Records++
+		nextSeq++
+	}
+
+	if !res.Final {
+		// No final seal: the producer crashed or the tail was cut at a line
+		// boundary. The chain still vouches for everything present.
+		res.Truncated = true
+	}
+	return res, nil
+}
+
+// seqAppearsLater reports whether any of the remaining lines parses as a
+// record with the given sequence number (used to tell reordering from
+// dropping).
+func seqAppearsLater(lines [][]byte, seq int64) bool {
+	for _, line := range lines {
+		var rec struct {
+			Seq *int64 `json:"seq"`
+		}
+		if err := json.Unmarshal(line, &rec); err == nil && rec.Seq != nil && *rec.Seq == seq {
+			return true
+		}
+	}
+	return false
+}

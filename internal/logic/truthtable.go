@@ -419,6 +419,53 @@ func (t TT) String() string {
 	return b.String()
 }
 
+// Hex renders the table's words as lowercase hex, word 0 (minterms 0..63)
+// first, 16 digits per word. Together with the variable count (carried
+// separately, e.g. in a certificate's evidence record) the rendering is a
+// lossless, canonical serialization: FromHex inverts it exactly.
+func (t TT) Hex() string {
+	var b strings.Builder
+	b.Grow(16 * len(t.words))
+	for _, w := range t.words {
+		fmt.Fprintf(&b, "%016x", w)
+	}
+	return b.String()
+}
+
+// FromHex parses the Hex rendering of a table over n variables. The string
+// must supply exactly the right number of digits and the unused high bits of
+// an n<6 table must be zero, so corrupted evidence is rejected rather than
+// silently masked.
+func FromHex(n int, s string) (TT, error) {
+	if n < 0 || n > MaxVars {
+		return TT{}, fmt.Errorf("logic: invalid variable count %d", n)
+	}
+	t := New(n)
+	if len(s) != 16*len(t.words) {
+		return TT{}, fmt.Errorf("logic: hex table for %d vars needs %d digits, got %d", n, 16*len(t.words), len(s))
+	}
+	for i := range t.words {
+		var w uint64
+		for _, c := range []byte(s[16*i : 16*i+16]) {
+			var v uint64
+			switch {
+			case c >= '0' && c <= '9':
+				v = uint64(c - '0')
+			case c >= 'a' && c <= 'f':
+				v = uint64(c-'a') + 10
+			default:
+				return TT{}, fmt.Errorf("logic: invalid hex digit %q in table", c)
+			}
+			w = w<<4 | v
+		}
+		t.words[i] = w
+	}
+	if last := t.words[len(t.words)-1]; last&^t.mask() != 0 {
+		return TT{}, fmt.Errorf("logic: hex table has bits beyond 2^%d minterms", n)
+	}
+	return t, nil
+}
+
 // Clone returns an independent copy of t.
 func (t TT) Clone() TT {
 	r := New(t.n)

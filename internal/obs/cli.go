@@ -2,6 +2,7 @@ package obs
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -41,6 +42,14 @@ type Flags struct {
 	// Heartbeat is the -events snapshot interval (0 disables heartbeats).
 	Heartbeat time.Duration
 
+	// Cert writes a verifiable run certificate (JSON) to this file at
+	// Finish: input/output circuit digests, an options digest, equivalence
+	// evidence, the comparison-unit path-proof summary, and — when -events
+	// is also given — the ledger binding (chain head and final Merkle root).
+	// The certificate logic lives in internal/ledger (commands import it for
+	// side effects); cmd/sftverify re-verifies the artifact offline.
+	Cert string
+
 	// Workers is the shared worker-count option threaded into every
 	// parallel engine (resynthesis, fault simulation, the experiment
 	// driver). Results are bit-identical for every value; 1 disables all
@@ -65,6 +74,7 @@ func AddFlags(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.PprofAddr, "pprof", "", "deprecated alias for -listen")
 	fs.StringVar(&f.Events, "events", "", "stream NDJSON run events (flight recorder) to this file")
 	fs.DurationVar(&f.Heartbeat, "heartbeat", time.Second, "heartbeat snapshot interval for -events (0 disables)")
+	fs.StringVar(&f.Cert, "cert", "", "write a verifiable run certificate (circuit digests, equivalence evidence, ledger binding) to this file")
 	fs.IntVar(&f.Workers, "workers", runtime.GOMAXPROCS(0),
 		"worker goroutines for parallel phases (results are identical for any value; 1 = serial)")
 	fs.BoolVar(&f.Check, "check", false,
@@ -91,6 +101,27 @@ func RegisterTelemetry(start func(r *Run, addr string) (TelemetryServer, error))
 	telemetryStart = start
 }
 
+// certBody and certWrite are installed by the internal/ledger package's
+// init, mirroring the telemetry seam: obs never imports the ledger. certBody
+// assembles the deterministic certificate body from the run state and
+// returns it with its digest; certWrite attaches the (nondeterministic)
+// ledger binding and writes the file. The split lets Finish append the body
+// digest to the event ledger BEFORE sealing it, then stamp the sealed
+// ledger's final root into the certificate — each artifact ends up naming
+// the other.
+var (
+	certBody  func(r *Run) (body any, digest string, err error)
+	certWrite func(body any, ledger *LedgerState, path string) error
+)
+
+// RegisterCertifier installs the -cert certificate builder and writer.
+func RegisterCertifier(
+	body func(r *Run) (any, string, error),
+	write func(body any, ledger *LedgerState, path string) error,
+) {
+	certBody, certWrite = body, write
+}
+
 // Run bundles the live observability state of one tool invocation.
 type Run struct {
 	Tracer  *Tracer // nil unless -trace, -metrics-out, -events or -listen was given
@@ -104,6 +135,16 @@ type Run struct {
 	start    time.Time
 	server   TelemetryServer
 	recorder *Recorder
+
+	// Certificate state, populated only when -cert is given: the circuits
+	// CircuitBefore/After observed, the command's semantic options (set via
+	// SetCertOptions), per-replacement equivalence evidence (AddEvidence),
+	// and — after the recorder closes — the sealed ledger's final state.
+	certBefore   *circuit.Circuit
+	certAfter    *circuit.Circuit
+	certOptions  json.RawMessage
+	certEvidence []any
+	ledgerFinal  *LedgerState
 }
 
 // Start builds the run state from the parsed flags. Failures to honor an
@@ -144,6 +185,9 @@ func (f *Flags) start(tool string) (*Run, error) {
 		Start: r.start,
 		Env:   Environment(),
 	}
+	if f.Cert != "" && certBody == nil {
+		return nil, fmt.Errorf("-cert %s: certifier not linked in (import compsynth/internal/ledger)", f.Cert)
+	}
 	if f.Events != "" {
 		rec, err := NewRecorder(f.Events, f.Heartbeat, r.Metrics)
 		if err != nil {
@@ -181,18 +225,82 @@ func (r *Run) Server() TelemetryServer { return r.server }
 // exper.Config.Check.
 func (r *Run) CheckEnabled() bool { return r.flags.Check }
 
-// CircuitBefore records (and verbosely logs) the input circuit.
+// CircuitBefore records (and verbosely logs) the input circuit. Under -cert
+// the circuit is retained for the certificate, so callers must not mutate it
+// afterwards (the pipeline already honors this: optimizers clone).
 func (r *Run) CircuitBefore(c *circuit.Circuit) {
 	info := InfoOf(c)
 	r.Report.CircuitBefore = &info
+	if r.flags.Cert != "" {
+		r.certBefore = c
+	}
 	r.Log.Verbosef("input %s: %v, paths %d", c.Name, c.Stats(), info.Paths)
 }
 
-// CircuitAfter records (and verbosely logs) the output circuit.
+// CircuitAfter records (and verbosely logs) the output circuit, retaining it
+// for the certificate under -cert.
 func (r *Run) CircuitAfter(c *circuit.Circuit) {
 	info := InfoOf(c)
 	r.Report.CircuitAfter = &info
+	if r.flags.Cert != "" {
+		r.certAfter = c
+	}
 	r.Log.Verbosef("output %s: %v, paths %d", c.Name, c.Stats(), info.Paths)
+}
+
+// CertEnabled reports whether the run was started with -cert; commands use
+// it to switch on evidence capture (resynth.Options.Certify).
+func (r *Run) CertEnabled() bool { return r.flags.Cert != "" }
+
+// SetCertOptions records the command's semantic options for the
+// certificate: v is marshaled once and echoed (plus digested) into the cert
+// body. Pass a fixed-shape struct of the flags that determine the output —
+// and nothing machine-dependent — so certificates for identical inputs stay
+// byte-identical. A marshal failure is reported at Finish, not here.
+func (r *Run) SetCertOptions(v any) {
+	if r.flags.Cert == "" {
+		return
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		raw, _ = json.Marshal(map[string]string{"marshal_error": err.Error()})
+	}
+	r.certOptions = raw
+}
+
+// AddEvidence appends per-replacement equivalence evidence (values of type
+// ledger.Evidence; typed any to keep the ledger out of obs's import graph)
+// to the certificate.
+func (r *Run) AddEvidence(items ...any) {
+	if r.flags.Cert == "" {
+		return
+	}
+	r.certEvidence = append(r.certEvidence, items...)
+}
+
+// CertCircuits returns the circuits retained for the certificate (either may
+// be nil). For the certificate builder seam.
+func (r *Run) CertCircuits() (before, after *circuit.Circuit) {
+	return r.certBefore, r.certAfter
+}
+
+// CertOptions returns the marshaled options recorded by SetCertOptions.
+func (r *Run) CertOptions() json.RawMessage { return r.certOptions }
+
+// CertEvidence returns the evidence recorded by AddEvidence.
+func (r *Run) CertEvidence() []any { return r.certEvidence }
+
+// LedgerState reports the event ledger's current (or, after the recorder
+// closed, final) state. ok is false when -events is off or no ledger is
+// linked in.
+func (r *Run) LedgerState() (LedgerState, bool) {
+	if r.recorder != nil {
+		return r.recorder.LedgerState()
+	}
+	if r.ledgerFinal != nil {
+		return *r.ledgerFinal, true
+	}
+	return LedgerState{}, false
 }
 
 // CheckCircuit validates c's IR invariants — circuit.Check plus the paper's
@@ -217,8 +325,10 @@ func (r *Run) CheckCircuit(label string, c *circuit.Circuit) error {
 	return nil
 }
 
-// closeRecorder detaches and closes the flight recorder, returning its
-// first recording error.
+// closeRecorder detaches and closes the flight recorder (sealing the event
+// ledger when one is linked), returning the first recording error. The
+// sealed ledger's final state is retained for the certificate binding and
+// for post-run LedgerState queries.
 func (r *Run) closeRecorder() error {
 	if r.recorder == nil {
 		return nil
@@ -226,6 +336,9 @@ func (r *Run) closeRecorder() error {
 	SetProgressSink(nil)
 	r.Tracer.SetObserver(nil)
 	err := r.recorder.Close()
+	if ls, ok := r.recorder.LedgerState(); ok {
+		r.ledgerFinal = &ls
+	}
 	r.recorder = nil
 	return err
 }
@@ -249,10 +362,34 @@ func (r *Run) Finish() error {
 		r.server = nil
 	}
 	var firstErr error
+	// Certificate body first: its digest is appended to the event ledger as
+	// a "cert" record, so the sealed stream names the certificate it
+	// produced; the certificate file is written after the recorder closes,
+	// when the ledger's final root is known, so it names the stream back.
+	var certPayload any
+	if r.flags.Cert != "" {
+		if certBody == nil {
+			firstErr = fmt.Errorf("-cert %s: certifier not linked in (import compsynth/internal/ledger)", r.flags.Cert)
+		} else if body, dg, err := certBody(r); err != nil {
+			firstErr = fmt.Errorf("-cert: %v", err)
+		} else {
+			certPayload = body
+			r.recorder.RecordCert(dg)
+		}
+	}
 	if r.recorder != nil {
 		r.recorder.RunEnd(r.Report.DurationMS, r.Report.Error)
-		if err := r.closeRecorder(); err != nil {
+		if err := r.closeRecorder(); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("-events: %v", err)
+		}
+	}
+	if certPayload != nil {
+		if err := certWrite(certPayload, r.ledgerFinal, r.flags.Cert); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("-cert: %v", err)
+			}
+		} else {
+			r.Log.Verbosef("wrote certificate %s", r.flags.Cert)
 		}
 	}
 	if r.flags.Trace {

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"io"
 	"os"
 	"runtime"
 	"sync"
@@ -18,6 +19,7 @@ import (
 //	span_end    name, depth, dur_ms, alloc_bytes
 //	progress    stage, done, total (total 0 = unbounded)
 //	heartbeat   counters, gauges, goroutines, heap_bytes
+//	cert        digest (body digest of the certificate emitted by this run)
 //	run_end     dur_ms, error
 type Event struct {
 	Type       string           `json:"t"`
@@ -35,7 +37,42 @@ type Event struct {
 	HeapBytes  uint64           `json:"heap_bytes,omitempty"`
 	Counters   map[string]int64 `json:"counters,omitempty"`
 	Gauges     map[string]int64 `json:"gauges,omitempty"`
+	Digest     string           `json:"digest,omitempty"`
 	Error      string           `json:"error,omitempty"`
+}
+
+// LedgerState is a snapshot of the tamper-evident ledger wrapped around the
+// event stream: how many event records and Merkle batches have been sealed,
+// the current hash-chain head, and (after Close) the final Merkle root.
+type LedgerState struct {
+	Records   int64  `json:"records"`
+	Batches   int64  `json:"batches"`
+	Head      string `json:"head"`
+	FinalRoot string `json:"final_root,omitempty"`
+}
+
+// LedgerSink is the framing seam between the flight recorder and the
+// tamper-evident ledger (internal/ledger). When a sink is registered, every
+// event the recorder writes flows through Append, which frames it with a
+// sequence number and hash chain; Close seals the stream with a final Merkle
+// root. Implementations need not be safe for concurrent use — the recorder
+// serializes all calls under its own mutex.
+type LedgerSink interface {
+	Append(ev Event) error
+	Close() error
+	State() LedgerState
+}
+
+// newLedgerSink is installed by the internal/ledger package's init. The
+// indirection keeps the ledger (which imports obs for the Event type and its
+// own metrics) out of obs's import graph; commands blank-import
+// compsynth/internal/ledger to link it in, mirroring obs/telemetry.
+var newLedgerSink func(w io.Writer) LedgerSink
+
+// RegisterLedger installs the ledger sink constructor the recorder wraps
+// -events files with.
+func RegisterLedger(fn func(w io.Writer) LedgerSink) {
+	newLedgerSink = fn
 }
 
 // progressMinInterval throttles per-stage progress events: hot loops may
@@ -51,7 +88,8 @@ const progressMinInterval = 100 * time.Millisecond
 type Recorder struct {
 	mu       sync.Mutex
 	f        *os.File
-	enc      *json.Encoder
+	enc      *json.Encoder // plain NDJSON path, used when no ledger is linked
+	sink     LedgerSink    // framing ledger, when internal/ledger is linked in
 	start    time.Time
 	err      error // first write error; reported by Close
 	lastProg map[string]time.Time
@@ -71,10 +109,14 @@ func NewRecorder(path string, interval time.Duration, m *Metrics) (*Recorder, er
 	}
 	r := &Recorder{
 		f:        f,
-		enc:      json.NewEncoder(f),
 		start:    time.Now(),
 		lastProg: map[string]time.Time{},
 		metrics:  m,
+	}
+	if newLedgerSink != nil {
+		r.sink = newLedgerSink(f)
+	} else {
+		r.enc = json.NewEncoder(f)
 	}
 	if interval > 0 {
 		r.stop = make(chan struct{})
@@ -91,9 +133,38 @@ func (r *Recorder) write(ev Event) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	ev.ElapsedMS = float64(time.Since(r.start)) / float64(time.Millisecond)
-	if err := r.enc.Encode(ev); err != nil && r.err == nil {
+	var err error
+	if r.sink != nil {
+		err = r.sink.Append(ev)
+	} else {
+		err = r.enc.Encode(ev)
+	}
+	if err != nil && r.err == nil {
 		r.err = err
 	}
+}
+
+// RecordCert records the certificate body digest as a ledger event, binding
+// the certificate to the event stream it describes (call before RunEnd).
+func (r *Recorder) RecordCert(digest string) {
+	if r == nil {
+		return
+	}
+	r.write(Event{Type: "cert", Digest: digest})
+}
+
+// LedgerState reports the framing ledger's state. ok is false when no ledger
+// is linked in (the recorder then writes plain NDJSON).
+func (r *Recorder) LedgerState() (LedgerState, bool) {
+	if r == nil {
+		return LedgerState{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sink == nil {
+		return LedgerState{}, false
+	}
+	return r.sink.State(), true
 }
 
 // RunStart records the opening event.
@@ -181,6 +252,13 @@ func (r *Recorder) Close() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	err := r.err
+	if r.sink != nil {
+		// Seal the ledger (final Merkle root) before the file closes, so
+		// even failed runs leave a verifiable stream.
+		if serr := r.sink.Close(); err == nil {
+			err = serr
+		}
+	}
 	if cerr := r.f.Close(); err == nil {
 		err = cerr
 	}

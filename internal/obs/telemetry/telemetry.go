@@ -68,6 +68,11 @@ func Handler(run *obs.Run) http.Handler {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		WriteProm(w, run.Metrics.Snapshot())
+		// The ledger's chain head is a string, so it rides on an info-style
+		// gauge (value 1, head as a label) next to the ledger.* counters.
+		if ls, ok := run.LedgerState(); ok {
+			fmt.Fprintf(w, "# TYPE ledger_chain_head_info gauge\nledger_chain_head_info{head=%q} 1\n", ls.Head)
+		}
 	})
 	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -95,12 +100,13 @@ type Progress struct {
 	Goroutines int              `json:"goroutines"`
 	Counters   map[string]int64 `json:"counters,omitempty"`
 	Gauges     map[string]int64 `json:"gauges,omitempty"`
+	Ledger     *obs.LedgerState `json:"ledger,omitempty"`
 	Spans      []obs.SpanJSON   `json:"spans,omitempty"`
 }
 
 func snapshotProgress(run *obs.Run) Progress {
 	snap := run.Metrics.Snapshot()
-	return Progress{
+	p := Progress{
 		Tool:       run.Report.Tool,
 		Start:      run.Report.Start,
 		ElapsedMS:  float64(time.Since(run.Report.Start)) / float64(time.Millisecond),
@@ -109,6 +115,10 @@ func snapshotProgress(run *obs.Run) Progress {
 		Gauges:     snap.Gauges,
 		Spans:      run.Tracer.Export(),
 	}
+	if ls, ok := run.LedgerState(); ok {
+		p.Ledger = &ls
+	}
+	return p
 }
 
 // WriteProm renders a metrics snapshot in Prometheus text exposition

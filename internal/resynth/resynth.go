@@ -37,6 +37,7 @@ import (
 	"compsynth/internal/circuit"
 	"compsynth/internal/compare"
 	"compsynth/internal/digest"
+	"compsynth/internal/ledger"
 	"compsynth/internal/logic"
 	"compsynth/internal/obs"
 	"compsynth/internal/par"
@@ -118,6 +119,12 @@ type Options struct {
 	// Combined objective: measure = pathSaving + W * gateSaving.
 	CombinedGateWeight float64
 
+	// Certify records per-replacement equivalence evidence — the extracted
+	// truth table, the care set when don't-cares were used, and the chosen
+	// realization — into Result.Evidence, for the run certificate (-cert).
+	// Off (the default), the replacement path allocates nothing extra.
+	Certify bool
+
 	Seed int64
 
 	// Tracer records per-pass spans when non-nil; nil (the default) keeps
@@ -161,6 +168,11 @@ type Result struct {
 	GatesAfter   int
 	PathsBefore  uint64
 	PathsAfter   uint64
+
+	// Evidence holds one entry per accepted replacement when
+	// Options.Certify is set (nil otherwise). It is deliberately excluded
+	// from MarshalJSON: reports summarize, certificates carry the proof.
+	Evidence []ledger.Evidence
 }
 
 func (r *Result) String() string {
@@ -214,6 +226,7 @@ func Optimize(c *circuit.Circuit, opt Options) (*Result, error) {
 	// once, after the fixpoint.
 	work.BeginJournal()
 	for pass := 0; pass < opt.MaxPasses; pass++ {
+		o.passNo = pass + 1
 		gPass.Set(int64(pass + 1))
 		obs.EmitProgress("resynth.pass", int64(pass+1), int64(opt.MaxPasses))
 		psp := opt.Tracer.StartSpan("resynth.pass")
@@ -272,6 +285,7 @@ func Optimize(c *circuit.Circuit, opt Options) (*Result, error) {
 	res.Circuit = work
 	res.GatesAfter = work.Equiv2Count()
 	res.PathsAfter = paths.MustCount(work)
+	res.Evidence = o.evidence
 	return res, nil
 }
 
@@ -335,6 +349,10 @@ type optimizer struct {
 	careCache *par.Cache[digest.D, logic.TT]
 
 	scratch []int // reused worklist for the dirty-cone closure
+
+	// Certificate evidence, appended by apply when Options.Certify is set.
+	passNo   int
+	evidence []ledger.Evidence
 }
 
 // rngFor derives the RNG for one sampling-style identification call.
@@ -623,6 +641,13 @@ type candidate struct {
 	keepInputs []int // host node IDs for the spec's variables, in order
 	gateSave   int   // N - N'
 	pathsOnG   uint64
+
+	// Evidence inputs (the tables are cache-shared; no extra allocation):
+	// the support-reduced extracted function and, when identification used
+	// reachability don't-cares, the care set it was matched under.
+	stt     logic.TT
+	care    logic.TT
+	hasCare bool
 }
 
 // selectReplacement evaluates all candidates for gate output g and returns
@@ -661,6 +686,8 @@ func (o *optimizer) selectReplacement(c *circuit.Circuit, g int) *candidate {
 		}
 		stt, kept := ex.stt, ex.kept
 		var spec compare.Realization
+		var dcCare logic.TT
+		usedDC := false
 		single, ok := o.identify(stt)
 		spec = single
 		if !ok && o.valbits != nil {
@@ -673,6 +700,9 @@ func (o *optimizer) selectReplacement(c *circuit.Circuit, g int) *candidate {
 			if !care.IsConst(true) {
 				single, ok = o.identifyDC(stt, care)
 				spec = single
+				if ok {
+					dcCare, usedDC = care, true
+				}
 			}
 		}
 		if !ok && o.opt.MaxUnits > 1 {
@@ -695,6 +725,9 @@ func (o *optimizer) selectReplacement(c *circuit.Circuit, g int) *candidate {
 			keepInputs: keepInputs,
 			gateSave:   sub.GateSavings(c) - spec.GateCost(),
 			pathsOnG:   spec.PathCost(subNp),
+			stt:        stt,
+			care:       dcCare,
+			hasCare:    usedDC,
 		}
 		// Try alternative realizations when available.
 		if o.opt.MaxSpecs > 1 && !o.opt.UseSampling {
@@ -932,6 +965,7 @@ func (o *optimizer) identifyAll(tt logic.TT) []compare.Spec {
 
 // apply builds the unit, rewires g's consumers to it and sweeps dead logic.
 func (o *optimizer) apply(c *circuit.Circuit, cand *candidate) {
+	gate := c.Nodes[cand.sub.Out].Name // captured before the rewire kills the node
 	out := cand.spec.Build(c, cand.keepInputs, compare.BuildOptions{
 		Merge:      o.opt.Merge,
 		NamePrefix: fmt.Sprintf("cu%d_", cand.sub.Out),
@@ -941,4 +975,17 @@ func (o *optimizer) apply(c *circuit.Circuit, cand *candidate) {
 	}
 	c.ReplaceUses(cand.sub.Out, out)
 	c.SweepDead()
+	if o.opt.Certify {
+		ev := ledger.Evidence{
+			Pass: o.passNo,
+			Gate: gate,
+			Vars: cand.stt.Vars(),
+			TT:   cand.stt.Hex(),
+			Spec: ledger.SpecInfoOf(cand.spec),
+		}
+		if cand.hasCare {
+			ev.Care = cand.care.Hex()
+		}
+		o.evidence = append(o.evidence, ev)
+	}
 }

@@ -93,4 +93,51 @@ scripts/bench.sh 'Table2Procedure2|ResynthParallel|AblationIdentify' 1 "$benchga
 go run ./cmd/obsdiff -tol-bench "${BENCH_TOL_NS:-1.0}" -tol-alloc 0.01 \
     BENCH_2026-08-06_lean.json "$benchgate"
 
+echo "== sftverify gate =="
+# Provenance round trip, both directions (README "Provenance & verification").
+# Forward: a fresh c17 run recorded with -events/-cert must replay cleanly
+# through sftverify (chain, Merkle roots, circuit digests, equivalence
+# witness, per-replacement evidence, path proof — exit 0). Reverse: the
+# committed tampered stream (one flipped digit mid-record) must be rejected
+# with exit 1, distinguished from a usage/IO failure (2). Built binaries,
+# not "go run", for the same exit-code reason as the sftlint gate.
+provdir="$(mktemp -d)"
+trap 'rm -f "$sftlint" "$fresh" "$benchgate"; rm -rf "$provdir"' EXIT
+go build -o "$provdir/sft" ./cmd/sft
+go build -o "$provdir/sftverify" ./cmd/sftverify
+"$provdir/sft" -in circuits/c17.bench -out "$provdir/c17_out.bench" \
+    -events "$provdir/c17.ndjson" -cert "$provdir/c17.cert.json" \
+    -heartbeat 0 -workers 2 >/dev/null
+"$provdir/sftverify" -ledger "$provdir/c17.ndjson" -cert "$provdir/c17.cert.json" \
+    -in circuits/c17.bench -out "$provdir/c17_out.bench" >/dev/null
+set +e
+"$provdir/sftverify" -ledger internal/ledger/testdata/tampered_c17.ndjson >/dev/null
+sftverify_status=$?
+set -e
+if [ "$sftverify_status" -ne 1 ]; then
+    echo "sftverify: tampered fixture exited $sftverify_status, want 1 (verification failure)" >&2
+    exit 1
+fi
+# Certificates are a pure function of input + options: two runs with
+# different machine knobs (-workers) must produce byte-identical files.
+"$provdir/sft" -in circuits/adder4.bench -cert "$provdir/a1.json" \
+    -heartbeat 0 -workers 2 >/dev/null
+"$provdir/sft" -in circuits/adder4.bench -cert "$provdir/a2.json" \
+    -heartbeat 0 -workers 4 >/dev/null
+cmp "$provdir/a1.json" "$provdir/a2.json"
+
+echo "== staleness =="
+# The committed experiment outputs must match what the tree regenerates.
+# figures_output.txt is fully deterministic and fast, so it is always
+# checked. tables_output.txt (go run ./cmd/tables -scale 0.15, ~4 min) is
+# gated behind CI_TABLES=1; its "# suite ready in ..."/"# table N in ..."/
+# "# total ..." timing lines are wall-clock and filtered from both sides.
+go run ./cmd/figures > "$provdir/figures.txt"
+diff figures_output.txt "$provdir/figures.txt"
+if [ "${CI_TABLES:-0}" = "1" ]; then
+    go run ./cmd/tables -scale 0.15 > "$provdir/tables.txt"
+    filter_times() { grep -vE '^# (suite ready in|table [0-9] in|total )' "$1"; }
+    diff <(filter_times tables_output.txt) <(filter_times "$provdir/tables.txt")
+fi
+
 echo "ci: all checks passed"
