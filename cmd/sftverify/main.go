@@ -165,27 +165,13 @@ func verifyCert(v *verifier, cert *ledger.Certificate, chain *ledger.ChainResult
 	in := loadAndCheckCircuit(v, "input", inPath, cert.Input)
 	out := loadAndCheckCircuit(v, "output", outPath, cert.Output)
 
-	// Equivalence witness: replay the recorded patterns on both netlists.
-	if cert.Equivalence != nil && in != nil && out != nil {
-		w := cert.Equivalence
-		err := func() error {
-			ri, err := ledger.WitnessResponse(in, w.Mode, w.Seed, w.Rounds)
-			if err != nil {
-				return err
-			}
-			ro, err := ledger.WitnessResponse(out, w.Mode, w.Seed, w.Rounds)
-			if err != nil {
-				return err
-			}
-			if ri != w.Response {
-				return fmt.Errorf("input circuit response %s != recorded %s", ri, w.Response)
-			}
-			if ro != w.Response {
-				return fmt.Errorf("output circuit response %s != recorded %s", ro, w.Response)
-			}
-			return nil
-		}()
-		v.check("cert.equivalence", w.Mode, err)
+	// Equivalence witness: replay the witness patterns on both netlists.
+	// ledger.VerifyEquivalence re-derives the witness parameters from the
+	// circuit digests, so a forged certificate cannot pick its own patterns
+	// — and a certificate that silently omits the witness fails too.
+	if in != nil && out != nil {
+		mode, err := ledger.VerifyEquivalence(cert, in, out)
+		v.check("cert.equivalence", mode, err)
 	}
 
 	// Per-replacement evidence: self-contained, needs no netlist.

@@ -1,6 +1,7 @@
 package ledger
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -9,17 +10,16 @@ import (
 	"strings"
 
 	"compsynth/internal/circuit"
-	"compsynth/internal/digest"
 	"compsynth/internal/obs"
 	"compsynth/internal/simulate"
 )
 
-// CertVersion is the certificate format version.
-const CertVersion = 1
+// CertVersion is the certificate format version. v2: SHA-256 digests.
+const CertVersion = 2
 
 // circuitMagic versions the canonical netlist serialization CircuitDigest
 // hashes.
-const circuitMagic = "sft-circuit/v1"
+const circuitMagic = "sft-circuit/v2"
 
 // Witness parameters: cones up to maxExhaustiveInputs primary inputs get an
 // exhaustive response digest; larger circuits get sampledRounds*64 seeded
@@ -116,15 +116,15 @@ type Binding struct {
 // name. The form depends only on names, gate types and pin order — never on
 // node IDs or construction order — so it is invariant under .bench
 // write/parse round trips.
-func CircuitDigest(c *circuit.Circuit) digest.D {
-	d := digest.New().Bytes([]byte(circuitMagic))
-	d = d.Int(len(c.Inputs))
+func CircuitDigest(c *circuit.Circuit) H {
+	d := hnew().bytes([]byte(circuitMagic))
+	d = d.int(len(c.Inputs))
 	for _, id := range c.Inputs {
-		d = d.Bytes([]byte(c.Nodes[id].Name))
+		d = d.bytes([]byte(c.Nodes[id].Name))
 	}
-	d = d.Int(len(c.Outputs))
+	d = d.int(len(c.Outputs))
 	for _, id := range c.Outputs {
-		d = d.Bytes([]byte(c.Nodes[id].Name))
+		d = d.bytes([]byte(c.Nodes[id].Name))
 	}
 	var lines []string
 	var sb strings.Builder
@@ -148,11 +148,11 @@ func CircuitDigest(c *circuit.Circuit) digest.D {
 		lines = append(lines, sb.String())
 	}
 	sort.Strings(lines)
-	d = d.Int(len(lines))
+	d = d.int(len(lines))
 	for _, ln := range lines {
-		d = d.Bytes([]byte(ln))
+		d = d.bytes([]byte(ln))
 	}
-	return d
+	return d.sum()
 }
 
 func circuitCert(c *circuit.Circuit) *CircuitCert {
@@ -174,8 +174,8 @@ func WitnessParams(inputDigest, outputDigest string, inputs int) (mode string, s
 	if inputs <= maxExhaustiveInputs {
 		return "exhaustive", 0, 0
 	}
-	d := digest.New().Bytes([]byte(inputDigest)).Bytes([]byte(outputDigest))
-	return "sampled", int64(d.Lo), sampledRounds
+	d := hnew().bytes([]byte(inputDigest)).bytes([]byte(outputDigest)).sum()
+	return "sampled", int64(binary.LittleEndian.Uint64(d[:8])), sampledRounds
 }
 
 // WitnessResponse simulates c under the witness patterns and digests the
@@ -184,7 +184,7 @@ func WitnessParams(inputDigest, outputDigest string, inputs int) (mode string, s
 func WitnessResponse(c *circuit.Circuit, mode string, seed int64, rounds int) (string, error) {
 	s := simulate.New(c)
 	n := len(c.Inputs)
-	d := digest.New()
+	d := hnew()
 	switch mode {
 	case "exhaustive":
 		if n > maxExhaustiveInputs {
@@ -204,7 +204,7 @@ func WitnessResponse(c *circuit.Circuit, mode string, seed int64, rounds int) (s
 			s.Run()
 			m := maskRemaining(total - base)
 			for j := range c.Outputs {
-				d = d.Word(s.Output(j) & m)
+				d = d.word(s.Output(j) & m)
 			}
 		}
 	case "sampled":
@@ -215,13 +215,57 @@ func WitnessResponse(c *circuit.Circuit, mode string, seed int64, rounds int) (s
 			}
 			s.Run()
 			for j := range c.Outputs {
-				d = d.Word(s.Output(j))
+				d = d.word(s.Output(j))
 			}
 		}
 	default:
 		return "", fmt.Errorf("unknown witness mode %q", mode)
 	}
-	return d.Hex(), nil
+	return d.sum().Hex(), nil
+}
+
+// VerifyEquivalence replays a certificate's equivalence witness against the
+// two netlists. The witness mode, seed and round count are NOT taken from
+// the certificate — they are re-derived from the circuit digests
+// (WitnessParams), so a forged certificate cannot claim a favorable or
+// empty pattern set (e.g. "sampled" with zero rounds): its recorded
+// parameters must match the forced derivation exactly, and both circuits
+// must reproduce the recorded response under it. Returns the derived mode
+// alongside any verification error. cert.Input and cert.Output must be
+// present and already checked against in and out (CircuitDigest).
+func VerifyEquivalence(cert *Certificate, in, out *circuit.Circuit) (string, error) {
+	w := cert.Equivalence
+	mode, seed, rounds := WitnessParams(cert.Input.Digest, cert.Output.Digest, len(in.Inputs))
+	if len(out.Inputs) != len(in.Inputs) || len(out.Outputs) != len(in.Outputs) {
+		return mode, fmt.Errorf("netlist shapes differ: input %d in/%d out, output %d in/%d out",
+			len(in.Inputs), len(in.Outputs), len(out.Inputs), len(out.Outputs))
+	}
+	if w == nil {
+		return mode, fmt.Errorf("certificate records both circuits but no equivalence witness")
+	}
+	if w.Mode != mode || w.Seed != seed || w.Rounds != rounds {
+		return mode, fmt.Errorf("witness parameters not the forced derivation: certificate says %s/seed %d/%d rounds, circuit digests require %s/seed %d/%d rounds",
+			w.Mode, w.Seed, w.Rounds, mode, seed, rounds)
+	}
+	if w.Inputs != len(in.Inputs) || w.Outputs != len(in.Outputs) {
+		return mode, fmt.Errorf("witness shape %d in/%d out != netlists %d/%d",
+			w.Inputs, w.Outputs, len(in.Inputs), len(in.Outputs))
+	}
+	ri, err := WitnessResponse(in, mode, seed, rounds)
+	if err != nil {
+		return mode, err
+	}
+	ro, err := WitnessResponse(out, mode, seed, rounds)
+	if err != nil {
+		return mode, err
+	}
+	if ri != w.Response {
+		return mode, fmt.Errorf("input circuit response %s != recorded %s", ri, w.Response)
+	}
+	if ro != w.Response {
+		return mode, fmt.Errorf("output circuit response %s != recorded %s", ro, w.Response)
+	}
+	return mode, nil
 }
 
 func maskRemaining(remaining uint64) uint64 {
@@ -243,7 +287,7 @@ func buildCertBody(r *obs.Run) (any, string, error) {
 	if raw := r.CertOptions(); raw != nil {
 		cert.Options = &OptionsInfo{
 			Echo:   raw,
-			Digest: digest.New().Bytes(raw).Hex(),
+			Digest: hnew().bytes(raw).sum().Hex(),
 		}
 	}
 	before, after := r.CertCircuits()
@@ -306,7 +350,7 @@ func BodyDigest(cert *Certificate) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return digest.New().Bytes(raw).Hex(), nil
+	return hnew().bytes(raw).sum().Hex(), nil
 }
 
 // writeCert attaches the sealed ledger binding and writes the certificate

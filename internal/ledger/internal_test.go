@@ -6,7 +6,6 @@ import (
 	"strings"
 	"testing"
 
-	"compsynth/internal/digest"
 	"compsynth/internal/obs"
 )
 
@@ -55,55 +54,41 @@ func TestForgedRootWithValidChain(t *testing.T) {
 	}
 }
 
-// parseHex inverts digest.D.Hex (test-only helper).
-func parseHex(s string) (digest.D, error) {
-	var d digest.D
-	if len(s) != 32 {
-		return d, errLen
-	}
-	for i := 0; i < 16; i++ {
-		d.Hi = d.Hi<<4 | uint64(hexVal(s[i]))
-		d.Lo = d.Lo<<4 | uint64(hexVal(s[16+i]))
-	}
-	return d, nil
-}
-
-var errLen = &hexErr{}
-
-type hexErr struct{}
-
-func (*hexErr) Error() string { return "bad digest hex length" }
-
-func hexVal(b byte) int {
-	switch {
-	case b >= '0' && b <= '9':
-		return int(b - '0')
-	case b >= 'a' && b <= 'f':
-		return int(b-'a') + 10
-	}
-	return 0
-}
-
 // TestMerkleRootProperties pins the fold: empty set, singleton, odd
 // promotion, and sensitivity to leaf order.
 func TestMerkleRootProperties(t *testing.T) {
 	if merkleRoot(nil) != genesis() {
 		t.Fatal("empty Merkle root is not the genesis digest")
 	}
-	l1 := digest.New().Word(1)
-	if merkleRoot([]digest.D{l1}) != l1 {
+	l1 := hnew().word(1).sum()
+	if merkleRoot([]H{l1}) != l1 {
 		t.Fatal("singleton root is not the leaf")
 	}
-	l2, l3 := digest.New().Word(2), digest.New().Word(3)
-	abc := merkleRoot([]digest.D{l1, l2, l3})
-	acb := merkleRoot([]digest.D{l1, l3, l2})
+	l2, l3 := hnew().word(2).sum(), hnew().word(3).sum()
+	abc := merkleRoot([]H{l1, l2, l3})
+	acb := merkleRoot([]H{l1, l3, l2})
 	if abc == acb {
 		t.Fatal("Merkle root insensitive to leaf order")
 	}
 	// The fold must not corrupt the caller's slice.
-	leaves := []digest.D{l1, l2, l3}
+	leaves := []H{l1, l2, l3}
 	merkleRoot(leaves)
 	if leaves[0] != l1 || leaves[1] != l2 || leaves[2] != l3 {
 		t.Fatal("merkleRoot mutated its input")
+	}
+}
+
+// TestParseHexRoundTrip pins the textual digest form.
+func TestParseHexRoundTrip(t *testing.T) {
+	d := hnew().word(42).sum()
+	got, err := parseHex(d.Hex())
+	if err != nil || got != d {
+		t.Fatalf("round trip failed: %v %v", got, err)
+	}
+	if _, err := parseHex("abc"); err == nil {
+		t.Fatal("short hex accepted")
+	}
+	if _, err := parseHex(strings.Repeat("zz", 32)); err == nil {
+		t.Fatal("non-hex accepted")
 	}
 }

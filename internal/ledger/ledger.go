@@ -4,12 +4,11 @@
 //
 //   - The flight-recorder NDJSON stream (-events) is framed into an
 //     append-only hash chain: every record carries a sequence number and a
-//     chain digest over (previous chain, seq, canonical record bytes), with
-//     a Merkle root sealed every DefaultBatchSize event records and a final
-//     root over all batch roots written at close. Truncation, in-place
-//     edits, dropped or reordered records and spliced streams are all
-//     detectable offline (VerifyChain), with no trust in the producing
-//     process.
+//     SHA-256 chain digest over (previous chain, seq, canonical record
+//     bytes), with a Merkle root sealed every DefaultBatchSize event
+//     records and a final root over all batch roots written at close.
+//     Truncation, in-place edits, dropped or reordered records and spliced
+//     streams are all detectable offline (VerifyChain).
 //
 //   - A per-run certificate (-cert) captures what the run claims: canonical
 //     digests of the input and output netlists, a digest of the semantic
@@ -25,6 +24,16 @@
 // ledger's chain head and final root are stamped into the certificate.
 // cmd/sftverify replays all of it offline.
 //
+// Trust model: all digests are SHA-256, but the chain is unkeyed.
+// Collision resistance makes it infeasible to alter any record while
+// keeping the existing digests valid; nothing stops an adversary with
+// write access to the whole file set from regenerating a fully consistent
+// chain, roots and matching certificate from scratch. Detecting that
+// wholesale substitution requires anchoring the final root or the
+// certificate body digest out-of-band at production time — a CI log line,
+// a ticket comment, a signed tag — and comparing against the anchor when
+// verifying.
+//
 // Importing the package installs the ledger sink and the certificate
 // builder into internal/obs (side-effect registration, mirroring
 // obs/telemetry):
@@ -37,7 +46,6 @@ import (
 	"fmt"
 	"io"
 
-	"compsynth/internal/digest"
 	"compsynth/internal/obs"
 )
 
@@ -61,39 +69,38 @@ func init() {
 const DefaultBatchSize = 64
 
 // ledgerMagic seeds the hash chain (and is the Merkle root of an empty
-// record set), versioning the framing format.
-const ledgerMagic = "sft-ledger/v1"
+// record set), versioning the framing format. v2: SHA-256 digests.
+const ledgerMagic = "sft-ledger/v2"
 
-func genesis() digest.D {
-	return digest.New().Bytes([]byte(ledgerMagic))
+func genesis() H {
+	return hnew().bytes([]byte(ledgerMagic)).sum()
 }
 
 // chainDigest extends the hash chain by one record: the previous head, the
 // record's sequence number and its canonical payload bytes are absorbed in
 // order.
-func chainDigest(prev digest.D, seq int64, payload []byte) digest.D {
-	return digest.New().Word(prev.Lo).Word(prev.Hi).Word(uint64(seq)).Bytes(payload)
+func chainDigest(prev H, seq int64, payload []byte) H {
+	return hnew().bytes(prev[:]).word(uint64(seq)).bytes(payload).sum()
 }
 
 // merkleRoot folds a level of digests pairwise (odd leaf promoted) down to
-// one root. The root of no leaves is the genesis digest.
-func merkleRoot(leaves []digest.D) digest.D {
-	if len(leaves) == 0 {
-		return genesis()
-	}
-	nodes := append([]digest.D(nil), leaves...)
+// one root without touching the input slice. The root of no leaves is the
+// genesis digest.
+func merkleRoot(leaves []H) H {
+	nodes := leaves
 	for len(nodes) > 1 {
-		next := nodes[: 0 : len(nodes)/2+1]
+		next := make([]H, 0, (len(nodes)+1)/2)
 		for i := 0; i < len(nodes); i += 2 {
 			if i+1 == len(nodes) {
 				next = append(next, nodes[i])
 				break
 			}
-			next = append(next, digest.New().
-				Word(nodes[i].Lo).Word(nodes[i].Hi).
-				Word(nodes[i+1].Lo).Word(nodes[i+1].Hi))
+			next = append(next, hnew().bytes(nodes[i][:]).bytes(nodes[i+1][:]).sum())
 		}
 		nodes = next
+	}
+	if len(nodes) == 0 {
+		return genesis()
 	}
 	return nodes[0]
 }
@@ -147,11 +154,11 @@ type Writer struct {
 	batchSize int
 
 	seq        int64
-	head       digest.D
-	leaves     []digest.D // chain digests of the current batch's events
-	roots      []digest.D // sealed batch roots
-	batchFirst int64      // seq of the current batch's first event
-	lastEvent  int64      // seq of the most recent event
+	head       H
+	leaves     []H   // chain digests of the current batch's events
+	roots      []H   // sealed batch roots
+	batchFirst int64 // seq of the current batch's first event
+	lastEvent  int64 // seq of the most recent event
 	events     int64
 	batches    int64
 	finalRoot  string // set by Close

@@ -530,6 +530,104 @@ func TestWitnessModes(t *testing.T) {
 	}
 }
 
+// TestVerifyEquivalenceForgery pins the witness-parameter enforcement: the
+// verifier re-derives mode/seed/rounds from the circuit digests, so a
+// forged certificate cannot pick its own pattern set.
+func TestVerifyEquivalenceForgery(t *testing.T) {
+	build := func(typ circuit.GateType) *circuit.Circuit {
+		c := circuit.New("tiny")
+		x, y, z := c.AddInput("x"), c.AddInput("y"), c.AddInput("z")
+		g1 := c.AddGate(typ, "g1", x, y)
+		c.MarkOutput(c.AddGate(circuit.Or, "g2", g1, z))
+		return c
+	}
+	certFor := func(a, b *circuit.Circuit, w *ledger.EquivWitness) *ledger.Certificate {
+		cc := func(c *circuit.Circuit) *ledger.CircuitCert {
+			return &ledger.CircuitCert{
+				Inputs: len(c.Inputs), Outputs: len(c.Outputs),
+				Digest: ledger.CircuitDigest(c).Hex(),
+			}
+		}
+		return &ledger.Certificate{Input: cc(a), Output: cc(b), Equivalence: w}
+	}
+	in, out := build(circuit.And), build(circuit.Or) // NOT equivalent
+
+	// The forgery from the attack: mode "sampled" with zero rounds — the
+	// response digest of zero patterns is identical for any two circuits,
+	// so without parameter re-derivation this cert would verify.
+	empty, err := ledger.WitnessResponse(in, "sampled", 12345, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := &ledger.EquivWitness{Mode: "sampled", Seed: 12345, Rounds: 0, Inputs: 3, Outputs: 1, Response: empty}
+	if _, err := ledger.VerifyEquivalence(certFor(in, out, forged), in, out); err == nil {
+		t.Fatal("zero-round sampled forgery accepted")
+	} else if !strings.Contains(err.Error(), "forced derivation") {
+		t.Fatalf("forgery rejected for the wrong reason: %v", err)
+	}
+
+	// Omitting the witness entirely must fail, not silently skip.
+	if _, err := ledger.VerifyEquivalence(certFor(in, out, nil), in, out); err == nil {
+		t.Fatal("certificate without a witness accepted")
+	}
+
+	// Honest parameters on non-equivalent circuits: the exhaustive replay
+	// itself must catch the disagreement.
+	mode, seed, rounds := ledger.WitnessParams(
+		ledger.CircuitDigest(in).Hex(), ledger.CircuitDigest(out).Hex(), len(in.Inputs))
+	respIn, err := ledger.WitnessResponse(in, mode, seed, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	honest := &ledger.EquivWitness{Mode: mode, Seed: seed, Rounds: rounds, Inputs: 3, Outputs: 1, Response: respIn}
+	if _, err := ledger.VerifyEquivalence(certFor(in, out, honest), in, out); err == nil {
+		t.Fatal("non-equivalent circuits verified under honest parameters")
+	}
+
+	// An equivalent pair under the honest derivation passes.
+	in2 := build(circuit.And)
+	mode, seed, rounds = ledger.WitnessParams(
+		ledger.CircuitDigest(in).Hex(), ledger.CircuitDigest(in2).Hex(), len(in.Inputs))
+	resp, err := ledger.WitnessResponse(in, mode, seed, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := &ledger.EquivWitness{Mode: mode, Seed: seed, Rounds: rounds, Inputs: 3, Outputs: 1, Response: resp}
+	if gotMode, err := ledger.VerifyEquivalence(certFor(in, in2, ok), in, in2); err != nil {
+		t.Fatalf("honest witness rejected: %v", err)
+	} else if gotMode != "exhaustive" {
+		t.Fatalf("3-input witness mode %s", gotMode)
+	}
+
+	// Sampled regime (>14 inputs): a forged seed or round count is caught
+	// by the same derivation check.
+	wide := func(typ circuit.GateType) *circuit.Circuit {
+		c := circuit.New("wide")
+		acc := c.AddInput("x0")
+		for i := 1; i < 15; i++ {
+			acc = c.AddGate(typ, fmt.Sprintf("g%d", i), acc, c.AddInput(fmt.Sprintf("x%d", i)))
+		}
+		c.MarkOutput(acc)
+		return c
+	}
+	wa, wb := wide(circuit.And), wide(circuit.And)
+	mode, seed, rounds = ledger.WitnessParams(
+		ledger.CircuitDigest(wa).Hex(), ledger.CircuitDigest(wb).Hex(), len(wa.Inputs))
+	if mode != "sampled" {
+		t.Fatalf("15-input witness mode %s", mode)
+	}
+	resp, err = ledger.WitnessResponse(wa, mode, seed+1, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badSeed := &ledger.EquivWitness{Mode: mode, Seed: seed + 1, Rounds: rounds, Inputs: 15, Outputs: 1, Response: resp}
+	if _, err := ledger.VerifyEquivalence(certFor(wa, wb, badSeed), wa, wb); err == nil {
+		t.Fatal("attacker-chosen seed accepted")
+	} else if !strings.Contains(err.Error(), "forced derivation") {
+		t.Fatalf("seed forgery rejected for the wrong reason: %v", err)
+	}
+}
+
 // TestTamperFixture keeps the committed tampered stream failing: ci.sh feeds
 // it to sftverify and requires exit 1, so it must never start verifying.
 func TestTamperFixture(t *testing.T) {

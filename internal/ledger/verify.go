@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"fmt"
 
-	"compsynth/internal/digest"
 	"compsynth/internal/obs"
 )
 
@@ -53,8 +52,8 @@ func VerifyChain(data []byte) (*ChainResult, error) {
 	res := &ChainResult{Head: genesis().Hex()}
 	head := genesis()
 	var nextSeq int64
-	var leaves []digest.D // chain digests of events since the last batch seal
-	var roots []digest.D
+	var leaves []H // chain digests of events since the last batch seal
+	var roots []H
 	var batchFirst, lastEvent int64
 	haveLeaves := false
 
