@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"testing"
 
+	"compsynth/internal/circuit"
 	"compsynth/internal/compare"
 	"compsynth/internal/delay"
 	"compsynth/internal/exper"
@@ -276,21 +277,41 @@ func BenchmarkObservabilityOverhead(b *testing.B) {
 
 func BenchmarkPathCountProcedure1(b *testing.B) {
 	c := gen.Suite(0.3)[3].Build() // rs13207 analog
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := paths.Count(c); err != nil {
-			b.Fatal(err)
-		}
+	for _, v := range []struct {
+		name  string
+		count func(*circuit.Circuit) (uint64, error)
+	}{{"csr", paths.Count}, {"map", paths.RefCount}} {
+		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
+			c.Freeze()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := v.count(c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
 func BenchmarkFaultSimulation(b *testing.B) {
 	c := gen.Suite(0.2)[0].Build()
 	fl := faults.Collapse(c)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		faultsim.RunRandom(c, fl, 4096, int64(i))
-	}
+	b.Run("csr", func(b *testing.B) {
+		b.ReportAllocs()
+		c.Freeze()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			faultsim.RunRandom(c, fl, 4096, int64(i))
+		}
+	})
+	b.Run("map", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			faultsim.RefCampaign(c, fl, 4096, int64(i))
+		}
+	})
 }
 
 func BenchmarkRobustPDFCampaign(b *testing.B) {

@@ -166,6 +166,9 @@ func CheckWith(c *Circuit, opt CheckOptions) error {
 			return err
 		}
 	}
+	if err := checkCSR(c); err != nil {
+		return err
+	}
 
 	// Unreachable logic: every live non-input node must reach some PO.
 	if !opt.AllowUnreachable {
@@ -191,6 +194,36 @@ func CheckWith(c *Circuit, opt CheckOptions) error {
 				return fmt.Errorf("node %s is unreachable from every primary output", nd.Name)
 			}
 		}
+	}
+	return nil
+}
+
+// checkCSR audits the frozen CSR view (csr_stale). A view from a generation
+// before the current one is legitimate — mutation after Freeze is exactly
+// what the generation stamp exists to record — but a view claiming the
+// current generation must match a from-scratch rebuild array for array, and
+// a view stamped beyond the current generation cannot arise from any legal
+// edit sequence. Only called on circuits already proven acyclic, since the
+// reference rebuild levelizes. The reference is built by the same cache-free
+// code Freeze's full path uses, so the audit also pins the incremental patch
+// path against the full one on every checked circuit.
+func checkCSR(c *Circuit) error {
+	v := c.fz.view
+	if v == nil {
+		return nil
+	}
+	if v.gen > c.fz.gen {
+		return fmt.Errorf("csr_stale: frozen view at generation %d is ahead of the circuit at %d", v.gen, c.fz.gen)
+	}
+	if v.gen < c.fz.gen {
+		return nil // aged out; the next Freeze refreshes it
+	}
+	ref := &CSR{}
+	lv := make([]int32, len(c.Nodes))
+	csrLevels(c, lv)
+	repackCSR(ref, c, lv)
+	if err := csrEqual(v, ref); err != nil {
+		return fmt.Errorf("csr_stale: frozen view diverges from the netlist: %v", err)
 	}
 	return nil
 }

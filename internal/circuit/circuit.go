@@ -171,6 +171,7 @@ type Circuit struct {
 	topoCache  []int
 	levelCache []int
 	journal    map[int]bool // touched-node recording; nil = off (see journal.go)
+	fz         frozenState  // frozen CSR view + its edit tracking (see csr.go)
 }
 
 // New returns an empty circuit.
@@ -235,6 +236,10 @@ func (c *Circuit) addNode(t GateType, name string, fanin []int) int {
 // MarkOutput designates node id as (driving) a primary output.
 func (c *Circuit) MarkOutput(id int) {
 	c.Outputs = append(c.Outputs, id)
+	// Not a netlist edit (no journal/cache invalidation needed), but the
+	// frozen view's Out array must track the designation.
+	c.fz.gen++
+	c.fz.note(id, len(c.Nodes))
 }
 
 // NodeByName returns the node ID for name, or -1.

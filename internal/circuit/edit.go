@@ -69,6 +69,9 @@ func (c *Circuit) Rename(id int, name string) bool {
 	delete(c.byName, nd.Name)
 	nd.Name = name
 	c.byName[name] = id
+	// Names ride along in the frozen view; a rename must age it out.
+	c.fz.gen++
+	c.fz.note(id, len(c.Nodes))
 	return true
 }
 

@@ -41,4 +41,8 @@ func (c *Circuit) touch(id int) {
 	if c.journal != nil {
 		c.journal[id] = true
 	}
+	// Every touch also advances the frozen-view generation (csr.go), whether
+	// or not journal recording is on.
+	c.fz.gen++
+	c.fz.note(id, len(c.Nodes))
 }

@@ -2,12 +2,23 @@
 // fault simulator in the style of FSIM [17]: 64 patterns are simulated per
 // word; each undetected fault is injected and propagated event-driven
 // through its fanout cone only, with early exit when the effect dies out.
+//
+// Simulation runs on the circuit's frozen CSR view (circuit.Freeze): dense
+// int32 ids, flat adjacency, level-ordered nodes. Dense id order is itself
+// a topological order, so the event queue pops the smallest dense id where
+// it used to pop the smallest cached-topo position. The detection words are
+// identical either way: with pop-smallest under any valid topological
+// order, a node is evaluated at most once per fault and only after every
+// faulty fanin has settled (a fanin can never be queued after its consumer
+// popped in an acyclic circuit), so each PO accumulates exactly the final
+// good-xor-faulty difference.
 package faultsim
 
 import (
 	"math/bits"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"compsynth/internal/circuit"
 	"compsynth/internal/faults"
@@ -28,80 +39,102 @@ var (
 	gBlocks    = obs.G("faultsim.blocks_done")
 )
 
-// Simulator simulates one circuit.
+// Simulator simulates one circuit snapshot. All per-node state is indexed
+// by dense CSR id.
 type Simulator struct {
 	c       *circuit.Circuit
-	topo    []int
-	pos     []int // topo position per node ID
+	v       *circuit.CSR
 	good    []uint64
 	cur     []uint64
 	dirty   []bool
-	touched []int
+	touched []int32
 	inQueue []bool
-	queue   []int
+	queue   []int32
 	buf     []uint64
-	poMask  map[int]bool
+	po      []bool // dense PO-driver mask
 }
 
-// New builds a simulator for c.
+// New builds a simulator for c's current state.
 func New(c *circuit.Circuit) *Simulator {
-	topo := c.Topo()
-	pos := make([]int, len(c.Nodes))
-	for i, id := range topo {
-		pos[id] = i
+	s := &Simulator{}
+	s.Reset(c)
+	return s
+}
+
+// Reset rebinds the simulator to c's current state, reusing all buffers.
+// This is the pooling seam: Campaign recycles simulators across calls
+// instead of allocating five node-sized arrays each time.
+func (s *Simulator) Reset(c *circuit.Circuit) {
+	s.c = c
+	s.v = c.Freeze()
+	n := s.v.N()
+	s.good = growU64(s.good, n)
+	s.sizeScratch(n)
+	s.po = growBool(s.po, n)
+	for i := range s.po {
+		s.po[i] = false
 	}
-	po := map[int]bool{}
-	for _, o := range c.Outputs {
-		po[o] = true
+	for _, o := range s.v.Out {
+		s.po[o] = true
 	}
-	c.RebuildFanouts()
-	return &Simulator{
-		c: c, topo: topo, pos: pos,
-		good:    make([]uint64, len(c.Nodes)),
-		cur:     make([]uint64, len(c.Nodes)),
-		dirty:   make([]bool, len(c.Nodes)),
-		inQueue: make([]bool, len(c.Nodes)),
-		poMask:  po,
+}
+
+// sizeScratch (re)sizes and clears the private fault-propagation state.
+func (s *Simulator) sizeScratch(n int) {
+	s.cur = growU64(s.cur, n)
+	s.dirty = growBool(s.dirty, n)
+	s.inQueue = growBool(s.inQueue, n)
+	for i := 0; i < n; i++ {
+		s.dirty[i] = false
+		s.inQueue[i] = false
 	}
+	s.touched = s.touched[:0]
+	s.queue = s.queue[:0]
+}
+
+// attach turns s into a fork of parent: circuit view, good values and PO
+// mask shared read-only, propagation scratch private.
+func (s *Simulator) attach(parent *Simulator) {
+	s.c, s.v = parent.c, parent.v
+	s.good, s.po = parent.good, parent.po
+	s.sizeScratch(parent.v.N())
 }
 
 // SetInputs loads one 64-pattern block: words[j] drives primary input j.
 func (s *Simulator) SetInputs(words []uint64) {
-	for j, in := range s.c.Inputs {
+	for j, in := range s.v.In {
 		s.good[in] = words[j]
 	}
 }
 
 // RunGood computes the fault-free values for the current block.
 func (s *Simulator) RunGood() {
-	for _, id := range s.topo {
-		nd := s.c.Nodes[id]
-		if nd.Type == circuit.Input {
+	v := s.v
+	for d := 0; d < v.N(); d++ {
+		k := v.Kind[d]
+		if k == circuit.Input {
 			continue
 		}
 		s.buf = s.buf[:0]
-		for _, f := range nd.Fanin {
+		for _, f := range v.FaninOf(int32(d)) {
 			s.buf = append(s.buf, s.good[f])
 		}
-		s.good[id] = nd.Type.EvalWords(s.buf)
+		s.good[d] = k.EvalWords(s.buf)
 	}
 }
 
-// GoodWord returns the fault-free word of a node.
-func (s *Simulator) GoodWord(id int) uint64 { return s.good[id] }
+// GoodWord returns the fault-free word of sparse node id.
+func (s *Simulator) GoodWord(id int) uint64 { return s.good[s.v.DenseOf[id]] }
 
 // Fork returns a simulator for concurrent DetectWord calls on the same
-// block: circuit structure, topological order and the good-value words are
-// shared read-only with s, while the fault-propagation scratch state (cur,
-// dirty, queue) is private. Forks must not call SetInputs or RunGood — load
-// each block through the parent, then detect through the forks.
+// block: circuit structure and the good-value words are shared read-only
+// with s, while the fault-propagation scratch state (cur, dirty, queue) is
+// private. Forks must not call SetInputs or RunGood — load each block
+// through the parent, then detect through the forks.
 func (s *Simulator) Fork() *Simulator {
-	return &Simulator{
-		c: s.c, topo: s.topo, pos: s.pos, good: s.good, poMask: s.poMask,
-		cur:     make([]uint64, len(s.c.Nodes)),
-		dirty:   make([]bool, len(s.c.Nodes)),
-		inQueue: make([]bool, len(s.c.Nodes)),
-	}
+	f := &Simulator{}
+	f.attach(s)
+	return f
 }
 
 // DetectWord simulates fault f against the current block and returns the
@@ -110,21 +143,22 @@ func (s *Simulator) DetectWord(f faults.Fault) uint64 {
 	// Faulty values start equal to good values; cur is restored lazily via
 	// the touched list.
 	var detected uint64
+	v := s.v
 	s.queue = s.queue[:0]
 
-	inject := func(id int, w uint64) {
-		if w == s.good[id] && !s.dirty[id] {
+	inject := func(d int32, w uint64) {
+		if w == s.good[d] && !s.dirty[d] {
 			return
 		}
-		s.cur[id] = w
-		if !s.dirty[id] {
-			s.dirty[id] = true
-			s.touched = append(s.touched, id)
+		s.cur[d] = w
+		if !s.dirty[d] {
+			s.dirty[d] = true
+			s.touched = append(s.touched, d)
 		}
-		if s.poMask[id] {
-			detected |= w ^ s.good[id]
+		if s.po[d] {
+			detected |= w ^ s.good[d]
 		}
-		for _, consumer := range s.c.Fanouts(id) {
+		for _, consumer := range v.FanoutOf(d) {
 			s.push(consumer)
 		}
 	}
@@ -134,72 +168,71 @@ func (s *Simulator) DetectWord(f faults.Fault) uint64 {
 		faultyWord = ^uint64(0)
 	}
 
+	site := v.DenseOf[f.Node]
 	if f.Pin < 0 {
-		inject(f.Node, faultyWord)
+		inject(site, faultyWord)
 	} else {
 		// Branch fault: re-evaluate the consuming gate with the pin forced.
-		nd := s.c.Nodes[f.Node]
 		s.buf = s.buf[:0]
-		for pin, fn := range nd.Fanin {
+		for pin, fn := range v.FaninOf(site) {
 			w := s.good[fn]
 			if pin == f.Pin {
 				w = faultyWord
 			}
 			s.buf = append(s.buf, w)
 		}
-		inject(f.Node, nd.Type.EvalWords(s.buf))
+		inject(site, v.Kind[site].EvalWords(s.buf))
 	}
 
 	for len(s.queue) > 0 {
 		// Pop the topologically smallest queued node.
-		id := s.pop()
-		nd := s.c.Nodes[id]
+		d := s.pop()
 		s.buf = s.buf[:0]
-		for _, fn := range nd.Fanin {
+		for _, fn := range v.FaninOf(d) {
 			s.buf = append(s.buf, s.val(fn))
 		}
-		w := nd.Type.EvalWords(s.buf)
-		if w != s.val(id) {
-			inject(id, w)
+		w := v.Kind[d].EvalWords(s.buf)
+		if w != s.val(d) {
+			inject(d, w)
 		}
 	}
 
 	// Restore.
-	for _, id := range s.touched {
-		s.dirty[id] = false
+	for _, d := range s.touched {
+		s.dirty[d] = false
 	}
 	s.touched = s.touched[:0]
 	return detected
 }
 
-// val returns the current (possibly faulty) word of a node.
-func (s *Simulator) val(id int) uint64 {
-	if s.dirty[id] {
-		return s.cur[id]
+// val returns the current (possibly faulty) word of a dense node.
+func (s *Simulator) val(d int32) uint64 {
+	if s.dirty[d] {
+		return s.cur[d]
 	}
-	return s.good[id]
+	return s.good[d]
 }
 
-func (s *Simulator) push(id int) {
-	if s.inQueue[id] {
+func (s *Simulator) push(d int32) {
+	if s.inQueue[d] {
 		return
 	}
-	s.inQueue[id] = true
-	s.queue = append(s.queue, id)
+	s.inQueue[d] = true
+	s.queue = append(s.queue, d)
 }
 
-func (s *Simulator) pop() int {
+func (s *Simulator) pop() int32 {
 	best := 0
 	for i := 1; i < len(s.queue); i++ {
-		if s.pos[s.queue[i]] < s.pos[s.queue[best]] {
+		if s.queue[i] < s.queue[best] {
 			best = i
 		}
 	}
-	id := s.queue[best]
+	d := s.queue[best]
 	s.queue[best] = s.queue[len(s.queue)-1]
 	s.queue = s.queue[:len(s.queue)-1]
-	s.inQueue[id] = false
-	return id
+	s.inQueue[d] = false
+	return d
 }
 
 // CampaignResult summarizes a random-pattern campaign (Table 6 columns).
@@ -236,6 +269,22 @@ type CampaignOptions struct {
 	Tracer *obs.Tracer
 }
 
+// campaignState is the pooled per-campaign allocation bundle: simulators,
+// the RNG (a math/rand source is a ~5KB allocation), the working fault list
+// and the per-block scratch. Reseeding and Reset/attach on every acquisition
+// keep campaigns pure functions of (circuit, faults, options).
+type campaignState struct {
+	sims   []*Simulator
+	words  []uint64
+	detect []uint64
+	rem    []faults.Fault
+	rng    *rand.Rand
+}
+
+var campPool = sync.Pool{
+	New: func() any { return &campaignState{rng: rand.New(rand.NewSource(0))} },
+}
+
 // RunRandom applies maxPatterns random patterns (rounded up to blocks of 64)
 // to the collapsed fault list and reports detection statistics. The same
 // seed yields the same pattern sequence for circuits with equal input
@@ -249,22 +298,38 @@ func Campaign(c *circuit.Circuit, fl []faults.Fault, opt CampaignOptions) Campai
 	sp := opt.Tracer.StartSpan("faultsim.campaign")
 	defer sp.End()
 	sp.SetInt("faults", int64(len(fl)))
-	s := New(c)
+	cs := campPool.Get().(*campaignState)
+	defer campPool.Put(cs)
 	w := par.Workers(opt.Workers)
 	sp.SetInt("workers", int64(w))
-	sims := []*Simulator{s}
-	for len(sims) < w {
-		sims = append(sims, s.Fork())
+	for len(cs.sims) < w {
+		cs.sims = append(cs.sims, &Simulator{})
 	}
-	rng := rand.New(rand.NewSource(opt.Seed))
-	remaining := append([]faults.Fault(nil), fl...)
+	sims := cs.sims
+	s := sims[0]
+	s.Reset(c)
+	for i := 1; i < w; i++ {
+		sims[i].attach(s)
+	}
+	cs.rng.Seed(opt.Seed)
+	remaining := append(cs.rem[:0], fl...)
+	cs.rem = remaining[:0]
 	res := CampaignResult{TotalFaults: len(fl)}
-	words := make([]uint64, len(c.Inputs))
-	detect := make([]uint64, len(remaining))
+	words := growU64(cs.words, len(c.Inputs))
+	cs.words = words
+	detect := growU64(cs.detect, len(remaining))
+	cs.detect = detect
 	blocks := (opt.Patterns + 63) / 64
+	// One closure for every block's par.Run: it reads the current partition
+	// through rem, so reusing it costs nothing and saves an allocation per
+	// block.
+	var rem []faults.Fault
+	detectOne := func(worker, i int) {
+		detect[i] = sims[worker].DetectWord(rem[i])
+	}
 	for b := 0; b < blocks && len(remaining) > 0; b++ {
 		for j := range words {
-			words[j] = rng.Uint64()
+			words[j] = cs.rng.Uint64()
 		}
 		s.SetInputs(words)
 		s.RunGood()
@@ -278,14 +343,12 @@ func Campaign(c *circuit.Circuit, fl []faults.Fault, opt CampaignOptions) Campai
 		// more than the block; the threshold only reschedules work, it
 		// cannot change results. The nil tracer keeps the per-block
 		// fan-out from flooding the span buffer.
-		rem := remaining
+		rem = remaining
 		bw := w
 		if len(rem) < blockGrain {
 			bw = 1
 		}
-		par.Run(nil, "faultsim.block", bw, len(rem), func(worker, i int) {
-			detect[i] = sims[worker].DetectWord(rem[i])
-		})
+		par.Run(nil, "faultsim.block", bw, len(rem), detectOne)
 		kept := remaining[:0]
 		for i, f := range remaining {
 			d := detect[i]
@@ -343,4 +406,18 @@ func SortFaults(fl []faults.Fault) {
 		}
 		return !a.Stuck && b.Stuck
 	})
+}
+
+func growU64(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n, n+n/2+8)
+	}
+	return s[:n]
+}
+
+func growBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n, n+n/2+8)
+	}
+	return s[:n]
 }

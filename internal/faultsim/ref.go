@@ -1,0 +1,198 @@
+package faultsim
+
+import (
+	"math/rand"
+
+	"compsynth/internal/circuit"
+	"compsynth/internal/faults"
+)
+
+// Pre-CSR fault simulator, kept as the executable reference: per-sparse-node
+// state, cached topological order, pointer-chasing fanin reads, serial
+// detection, fresh allocations per campaign. The determinism tests pin
+// Campaign == RefCampaign word for word, and the benchmark suite reports
+// both. No metrics are emitted here, so reference runs never perturb the
+// counters the real pipeline reports.
+type refSimulator struct {
+	c       *circuit.Circuit
+	topo    []int
+	pos     []int
+	good    []uint64
+	cur     []uint64
+	dirty   []bool
+	touched []int
+	inQueue []bool
+	queue   []int
+	buf     []uint64
+	poMask  map[int]bool
+}
+
+func newRefSimulator(c *circuit.Circuit) *refSimulator {
+	topo := c.Topo()
+	pos := make([]int, len(c.Nodes))
+	for i, id := range topo {
+		pos[id] = i
+	}
+	po := map[int]bool{}
+	for _, o := range c.Outputs {
+		po[o] = true
+	}
+	c.RebuildFanouts()
+	return &refSimulator{
+		c: c, topo: topo, pos: pos,
+		good:    make([]uint64, len(c.Nodes)),
+		cur:     make([]uint64, len(c.Nodes)),
+		dirty:   make([]bool, len(c.Nodes)),
+		inQueue: make([]bool, len(c.Nodes)),
+		poMask:  po,
+	}
+}
+
+func (s *refSimulator) setInputs(words []uint64) {
+	for j, in := range s.c.Inputs {
+		s.good[in] = words[j]
+	}
+}
+
+func (s *refSimulator) runGood() {
+	for _, id := range s.topo {
+		nd := s.c.Nodes[id]
+		if nd.Type == circuit.Input {
+			continue
+		}
+		s.buf = s.buf[:0]
+		for _, f := range nd.Fanin {
+			s.buf = append(s.buf, s.good[f])
+		}
+		s.good[id] = nd.Type.EvalWords(s.buf)
+	}
+}
+
+func (s *refSimulator) detectWord(f faults.Fault) uint64 {
+	var detected uint64
+	s.queue = s.queue[:0]
+
+	inject := func(id int, w uint64) {
+		if w == s.good[id] && !s.dirty[id] {
+			return
+		}
+		s.cur[id] = w
+		if !s.dirty[id] {
+			s.dirty[id] = true
+			s.touched = append(s.touched, id)
+		}
+		if s.poMask[id] {
+			detected |= w ^ s.good[id]
+		}
+		for _, consumer := range s.c.Fanouts(id) {
+			s.push(consumer)
+		}
+	}
+
+	faultyWord := uint64(0)
+	if f.Stuck {
+		faultyWord = ^uint64(0)
+	}
+
+	if f.Pin < 0 {
+		inject(f.Node, faultyWord)
+	} else {
+		nd := s.c.Nodes[f.Node]
+		s.buf = s.buf[:0]
+		for pin, fn := range nd.Fanin {
+			w := s.good[fn]
+			if pin == f.Pin {
+				w = faultyWord
+			}
+			s.buf = append(s.buf, w)
+		}
+		inject(f.Node, nd.Type.EvalWords(s.buf))
+	}
+
+	for len(s.queue) > 0 {
+		id := s.pop()
+		nd := s.c.Nodes[id]
+		s.buf = s.buf[:0]
+		for _, fn := range nd.Fanin {
+			s.buf = append(s.buf, s.val(fn))
+		}
+		w := nd.Type.EvalWords(s.buf)
+		if w != s.val(id) {
+			inject(id, w)
+		}
+	}
+
+	for _, id := range s.touched {
+		s.dirty[id] = false
+	}
+	s.touched = s.touched[:0]
+	return detected
+}
+
+func (s *refSimulator) val(id int) uint64 {
+	if s.dirty[id] {
+		return s.cur[id]
+	}
+	return s.good[id]
+}
+
+func (s *refSimulator) push(id int) {
+	if s.inQueue[id] {
+		return
+	}
+	s.inQueue[id] = true
+	s.queue = append(s.queue, id)
+}
+
+func (s *refSimulator) pop() int {
+	best := 0
+	for i := 1; i < len(s.queue); i++ {
+		if s.pos[s.queue[i]] < s.pos[s.queue[best]] {
+			best = i
+		}
+	}
+	id := s.queue[best]
+	s.queue[best] = s.queue[len(s.queue)-1]
+	s.queue = s.queue[:len(s.queue)-1]
+	s.inQueue[id] = false
+	return id
+}
+
+// RefCampaign is the pre-CSR serial campaign: same pattern sequence, same
+// merge discipline, evaluated through the mutable representation.
+func RefCampaign(c *circuit.Circuit, fl []faults.Fault, patterns int, seed int64) CampaignResult {
+	s := newRefSimulator(c)
+	rng := rand.New(rand.NewSource(seed))
+	remaining := append([]faults.Fault(nil), fl...)
+	res := CampaignResult{TotalFaults: len(fl)}
+	words := make([]uint64, len(c.Inputs))
+	detect := make([]uint64, len(remaining))
+	blocks := (patterns + 63) / 64
+	for b := 0; b < blocks && len(remaining) > 0; b++ {
+		for j := range words {
+			words[j] = rng.Uint64()
+		}
+		s.setInputs(words)
+		s.runGood()
+		for i, f := range remaining {
+			detect[i] = s.detectWord(f)
+		}
+		kept := remaining[:0]
+		for i, f := range remaining {
+			d := detect[i]
+			if d == 0 {
+				kept = append(kept, f)
+				continue
+			}
+			res.Detected++
+			first := b*64 + lowestBit(d) + 1
+			if first > res.LastEffective {
+				res.LastEffective = first
+			}
+		}
+		remaining = kept
+	}
+	res.Remaining = append([]faults.Fault(nil), remaining...)
+	res.Patterns = blocks * 64
+	return res
+}

@@ -1,0 +1,78 @@
+package faultsim
+
+import (
+	"testing"
+
+	"compsynth/internal/bench"
+	"compsynth/internal/circuit"
+	"compsynth/internal/faults"
+	"compsynth/internal/gen"
+)
+
+func campaignsEqual(a, b CampaignResult) bool {
+	if a.TotalFaults != b.TotalFaults || a.Detected != b.Detected ||
+		a.LastEffective != b.LastEffective || a.Patterns != b.Patterns ||
+		len(a.Remaining) != len(b.Remaining) {
+		return false
+	}
+	for i := range a.Remaining {
+		if a.Remaining[i] != b.Remaining[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCampaignMatchesRef pins the CSR-backed, pooled, parallel Campaign to
+// the pre-CSR serial reference: identical results field for field including
+// the order of the surviving fault list, across worker counts and repeated
+// (pool-recycling) invocations.
+func TestCampaignMatchesRef(t *testing.T) {
+	c17, err := bench.ParseString(bench.C17, "c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	circuits := []*circuit.Circuit{c17}
+	for seed := int64(3); seed <= 5; seed++ {
+		circuits = append(circuits, gen.Random(gen.Params{
+			Name: "r", Inputs: 14, Outputs: 6, Gates: 150, Layers: 8,
+			MaxFanin: 4, Locality: 0.6, Seed: seed,
+		}))
+	}
+	for i, c := range circuits {
+		fl := faults.Collapse(c)
+		want := RefCampaign(c, fl, 256, 7)
+		for _, workers := range []int{1, 4} {
+			// Twice per worker count: the second run reuses pooled state.
+			for round := 0; round < 2; round++ {
+				got := Campaign(c, fl, CampaignOptions{Patterns: 256, Seed: 7, Workers: workers})
+				if !campaignsEqual(got, want) {
+					t.Fatalf("circuit %d workers %d round %d:\ngot  %+v\nwant %+v",
+						i, workers, round, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCampaignAfterEditMatchesRef ages the frozen view between campaigns so
+// the incremental rebuild feeds the simulator, then re-pins against the
+// reference built from the same mutated circuit.
+func TestCampaignAfterEditMatchesRef(t *testing.T) {
+	c, err := bench.ParseString(bench.Adder4, "adder4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := faults.Collapse(c)
+	if r := Campaign(c, fl, CampaignOptions{Patterns: 128, Seed: 3}); r.TotalFaults == 0 {
+		t.Fatal("empty fault list")
+	}
+	g := c.AddGate(circuit.Nor, "", c.Outputs[0], c.Outputs[1])
+	c.MarkOutput(g)
+	fl = faults.Collapse(c)
+	got := Campaign(c, fl, CampaignOptions{Patterns: 128, Seed: 3})
+	want := RefCampaign(c, fl, 128, 3)
+	if !campaignsEqual(got, want) {
+		t.Fatalf("post-edit campaign:\ngot  %+v\nwant %+v", got, want)
+	}
+}

@@ -87,6 +87,7 @@ func (cfg Config) ruleEnabled(name string) bool {
 // pure function of (inputs, options, seed).
 var nondeterministicPkgs = []string{
 	"internal/obs",     // wall-clock telemetry is its whole job
+	"internal/metric",  // registry substrate under obs (snapshot formatting sorts its output)
 	"internal/obsdiff", // offline report diffing
 	"internal/lint",    // this analyzer
 	"cmd/",             // command mains time and report their own runs

@@ -312,12 +312,21 @@ func isConstExpr(info *types.Info, e ast.Expr) bool {
 }
 
 // ---------------------------------------------------------------------------
-// metricname: obs registry names must be literal package.snake_case, first
-// segment equal to the registering package. Replaces the regex walker that
-// used to live in internal/obs/lint_test.go.
+// metricname: registry names must be literal package.snake_case, first
+// segment equal to the registering package. Covers both registration paths
+// into the shared registry: obs.C/G/H and the underlying metric.C/G/H
+// (internal/metric exists so packages below obs, like circuit, can register
+// without an import cycle). Replaces the regex walker that used to live in
+// internal/obs/lint_test.go.
 
 func (r *runner) metricname() {
 	obsPath := r.l.ModPath + "/internal/obs"
+	metricPath := r.l.ModPath + "/internal/metric"
+	if r.p.Path == obsPath || r.p.Path == metricPath {
+		// The registry implementation and obs's re-export shim forward the
+		// name parameter; they register nothing themselves.
+		return
+	}
 	for _, f := range r.p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -325,7 +334,8 @@ func (r *runner) metricname() {
 				return true
 			}
 			fn := r.callee(call)
-			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != obsPath {
+			if fn == nil || fn.Pkg() == nil ||
+				(fn.Pkg().Path() != obsPath && fn.Pkg().Path() != metricPath) {
 				return true
 			}
 			switch fn.Name() {

@@ -2,7 +2,10 @@
 // fixture: the go tool never builds testdata, only sftlint's own loader does.
 package badmetric
 
-import "compsynth/internal/obs"
+import (
+	"compsynth/internal/metric"
+	"compsynth/internal/obs"
+)
 
 var (
 	good  = obs.C("badmetric.events_total")
@@ -20,4 +23,14 @@ func Use() {
 	good.Add(1)
 	camel.Add(1)
 	theft.Set(1)
+}
+
+// The underlying metric package is the second registration path into the
+// shared registry (used by packages below obs, like circuit); the rule must
+// audit it identically.
+var direct = metric.C("circuit.csr_hijack")
+
+// UseDirect keeps the metric-path registration referenced.
+func UseDirect() {
+	direct.Inc()
 }

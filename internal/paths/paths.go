@@ -12,6 +12,7 @@ package paths
 import (
 	"errors"
 	"math/big"
+	"sync"
 
 	"compsynth/internal/circuit"
 )
@@ -62,19 +63,70 @@ func LabelNode(c *circuit.Circuit, np []uint64, id int) (uint64, bool) {
 	}
 }
 
-// Count returns the total number of PI-to-PO paths.
+// countScratch is the pooled per-call state of the CSR-backed counting
+// sweeps, so steady-state Count/Through calls allocate nothing.
+type countScratch struct {
+	np []uint64
+	w  []uint64
+}
+
+var countPool = sync.Pool{New: func() any { return new(countScratch) }}
+
+func (s *countScratch) grow(n int) {
+	if cap(s.np) < n {
+		s.np = make([]uint64, n)
+		s.w = make([]uint64, n)
+	}
+	s.np = s.np[:n]
+	s.w = s.w[:n]
+}
+
+// denseLabels fills np (dense-indexed) with N_p labels by one linear sweep
+// of the frozen view; dense order is topological, so every fanin label is
+// ready when read. Saturation matches LabelNode bit for bit.
+func denseLabels(v *circuit.CSR, np []uint64) (ok bool) {
+	ok = true
+	for d := 0; d < v.N(); d++ {
+		switch v.Kind[d] {
+		case circuit.Input:
+			np[d] = 1
+		case circuit.Const0, circuit.Const1:
+			np[d] = 0
+		default:
+			var sum uint64
+			for _, f := range v.FaninOf(int32(d)) {
+				s := sum + np[f]
+				if s < sum {
+					ok = false
+					s = ^uint64(0)
+				}
+				sum = s
+			}
+			np[d] = sum
+		}
+	}
+	return ok
+}
+
+// Count returns the total number of PI-to-PO paths. It runs on the frozen
+// CSR view of the circuit (Freeze is a cache hit when nothing changed) and
+// returns exactly what RefCount computes on the mutable representation.
 func Count(c *circuit.Circuit) (uint64, error) {
-	np, ok := Labels(c)
+	v := c.Freeze()
+	s := countPool.Get().(*countScratch)
+	defer countPool.Put(s)
+	s.grow(v.N())
+	ok := denseLabels(v, s.np)
 	if !ok {
 		return 0, ErrOverflow
 	}
 	var total uint64
-	for _, o := range c.Outputs {
-		s := total + np[o]
-		if s < total {
+	for _, o := range v.Out {
+		t := total + s.np[o]
+		if t < total {
 			return 0, ErrOverflow
 		}
-		total = s
+		total = t
 	}
 	return total, nil
 }
@@ -120,29 +172,52 @@ func CountBig(c *circuit.Circuit) *big.Int {
 	return total
 }
 
+// denseWeights fills w (dense-indexed) with the PO-forward path weights by
+// one reverse linear sweep of the frozen view.
+func denseWeights(v *circuit.CSR, w []uint64) {
+	for i := range w {
+		w[i] = 0
+	}
+	for _, o := range v.Out {
+		w[o]++
+	}
+	for d := v.N() - 1; d >= 0; d-- {
+		for _, f := range v.FaninOf(int32(d)) {
+			w[f] += w[d]
+		}
+	}
+}
+
 // FanoutWeights computes, for each node g, the number of paths from g to any
 // primary output (the "K_p-forward" weight): POs seed 1 per designation, and
 // a node's weight is the sum of its consumers' weights over each consuming
 // pin. Together with Labels this gives the number of paths through any line:
-// through(g) = Labels[g] * FanoutWeights[g].
+// through(g) = Labels[g] * FanoutWeights[g]. The returned slice is indexed
+// by sparse node ID (dead nodes weigh 0), as before the CSR port.
 func FanoutWeights(c *circuit.Circuit) []uint64 {
+	v := c.Freeze()
+	s := countPool.Get().(*countScratch)
+	defer countPool.Put(s)
+	s.grow(v.N())
+	denseWeights(v, s.w)
 	w := make([]uint64, len(c.Nodes))
-	for _, o := range c.Outputs {
-		w[o]++
-	}
-	topo := c.Topo()
-	for i := len(topo) - 1; i >= 0; i-- {
-		id := topo[i]
-		nd := c.Nodes[id]
-		for _, f := range nd.Fanin {
-			w[f] += w[id]
-		}
+	for d, id := range v.NodeID {
+		w[id] = s.w[d]
 	}
 	return w
 }
 
 // Through returns the number of PI-to-PO paths passing through node id.
 func Through(c *circuit.Circuit, id int) uint64 {
-	np, _ := Labels(c)
-	return np[id] * FanoutWeights(c)[id]
+	v := c.Freeze()
+	d := v.DenseOf[id]
+	if d < 0 {
+		return 0
+	}
+	s := countPool.Get().(*countScratch)
+	defer countPool.Put(s)
+	s.grow(v.N())
+	denseLabels(v, s.np)
+	denseWeights(v, s.w)
+	return s.np[d] * s.w[d]
 }

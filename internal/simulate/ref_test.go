@@ -1,0 +1,41 @@
+package simulate
+
+import (
+	"testing"
+
+	"compsynth/internal/bench"
+	"compsynth/internal/gen"
+)
+
+// TestEquivalentRandomMatchesRef pins the CSR-backed equivalence checker to
+// the pre-CSR reference: same circuits, same seeds, same verdicts, through
+// both the exhaustive and the random-rounds path.
+func TestEquivalentRandomMatchesRef(t *testing.T) {
+	c17a, _ := bench.ParseString(bench.C17, "a")
+	c17b, _ := bench.ParseString(bench.C17, "b")
+	// Exhaustive path (5 inputs <= maxExhaustive).
+	if got, want := EquivalentRandom(c17a, c17b, 8, 10, 1), RefEquivalentRandom(c17a, c17b, 8, 10, 1); got != want {
+		t.Fatalf("exhaustive equal pair: %v vs ref %v", got, want)
+	}
+	swapFirstNandForNor(c17b)
+	if got, want := EquivalentRandom(c17a, c17b, 8, 10, 1), RefEquivalentRandom(c17a, c17b, 8, 10, 1); got != want {
+		t.Fatalf("exhaustive mutated pair: %v vs ref %v", got, want)
+	}
+
+	// Random-rounds path (18 inputs > maxExhaustive) over several seeds.
+	p := gen.Params{Name: "r", Inputs: 18, Outputs: 6, Gates: 90, Layers: 6,
+		MaxFanin: 3, Locality: 0.7, Seed: 21}
+	a := gen.Random(p)
+	b := gen.Random(p)
+	for seed := int64(1); seed <= 5; seed++ {
+		if got, want := EquivalentRandom(a, b, 4, 8, seed), RefEquivalentRandom(a, b, 4, 8, seed); got != want {
+			t.Fatalf("random equal pair seed %d: %v vs ref %v", seed, got, want)
+		}
+	}
+	swapFirstNandForNor(b)
+	for seed := int64(1); seed <= 5; seed++ {
+		if got, want := EquivalentRandom(a, b, 4, 8, seed), RefEquivalentRandom(a, b, 4, 8, seed); got != want {
+			t.Fatalf("random mutated pair seed %d: %v vs ref %v", seed, got, want)
+		}
+	}
+}

@@ -1,85 +1,141 @@
 // Package simulate provides 64-way pattern-parallel logic simulation of
 // combinational circuits, the workhorse behind function extraction, fault
 // simulation and equivalence checking.
+//
+// Simulation runs on the circuit's frozen CSR view (circuit.Freeze): one
+// linear sweep over level-ordered dense ids with flat adjacency, instead of
+// a pointer chase over per-node heap objects. Results are identical to
+// evaluating the mutable representation in topological order — dense order
+// is itself a topological order — and the mutable circuit stays the source
+// of truth: a Sim is bound to the circuit state at New/Reset time.
 package simulate
 
 import (
 	"math/rand"
+	"sync"
 
 	"compsynth/internal/circuit"
 )
 
-// Sim holds per-node 64-pattern words for one circuit.
+// Sim holds per-node 64-pattern words for one circuit snapshot.
 type Sim struct {
 	C     *circuit.Circuit
-	Words []uint64 // indexed by node ID
-	topo  []int
+	v     *circuit.CSR
+	words []uint64 // indexed by dense id
 	buf   []uint64
 }
 
-// New prepares a simulator for c.
+// New prepares a simulator for c (freezing c's current state).
 func New(c *circuit.Circuit) *Sim {
-	return &Sim{C: c, Words: make([]uint64, len(c.Nodes)), topo: c.Topo()}
+	s := &Sim{}
+	s.Reset(c)
+	return s
+}
+
+// Reset rebinds the simulator to c's current state, reusing its buffers.
+// All pattern words are cleared. This is what makes Sim poolable: the
+// equivalence checker recycles simulators through a sync.Pool instead of
+// allocating word arrays per call.
+func (s *Sim) Reset(c *circuit.Circuit) {
+	s.C = c
+	s.v = c.Freeze()
+	n := s.v.N()
+	if cap(s.words) < n {
+		s.words = make([]uint64, n)
+	}
+	s.words = s.words[:n]
+	for i := range s.words {
+		s.words[i] = 0
+	}
 }
 
 // SetInput assigns the 64-pattern word of primary input index j (input
 // order, not node ID).
 func (s *Sim) SetInput(j int, w uint64) {
-	s.Words[s.C.Inputs[j]] = w
+	s.words[s.v.In[j]] = w
 }
 
 // Run evaluates all gates for the current input words.
 func (s *Sim) Run() {
-	for _, id := range s.topo {
-		nd := s.C.Nodes[id]
-		if nd.Type == circuit.Input {
+	v := s.v
+	for d := 0; d < v.N(); d++ {
+		k := v.Kind[d]
+		if k == circuit.Input {
 			continue
 		}
 		s.buf = s.buf[:0]
-		for _, f := range nd.Fanin {
-			s.buf = append(s.buf, s.Words[f])
+		for _, f := range v.FaninOf(int32(d)) {
+			s.buf = append(s.buf, s.words[f])
 		}
-		s.Words[id] = nd.Type.EvalWords(s.buf)
+		s.words[d] = k.EvalWords(s.buf)
 	}
+}
+
+// Word returns the current 64-pattern word of sparse node id.
+func (s *Sim) Word(id int) uint64 {
+	return s.words[s.v.DenseOf[id]]
 }
 
 // Output returns the word of primary output index j.
 func (s *Sim) Output(j int) uint64 {
-	return s.Words[s.C.Outputs[j]]
+	return s.words[s.v.Out[j]]
 }
 
 // Outputs copies all PO words into dst (allocating if nil).
 func (s *Sim) Outputs(dst []uint64) []uint64 {
 	if dst == nil {
-		dst = make([]uint64, len(s.C.Outputs))
+		dst = make([]uint64, len(s.v.Out))
 	}
-	for j, o := range s.C.Outputs {
-		dst[j] = s.Words[o]
+	for j, o := range s.v.Out {
+		dst[j] = s.words[o]
 	}
 	return dst
 }
 
 // RandomPatterns fills the inputs with rng-driven words.
 func (s *Sim) RandomPatterns(rng *rand.Rand) {
-	for _, in := range s.C.Inputs {
-		s.Words[in] = rng.Uint64()
+	for _, in := range s.v.In {
+		s.words[in] = rng.Uint64()
 	}
 }
+
+var simPool = sync.Pool{New: func() any { return new(Sim) }}
+
+func acquire(c *circuit.Circuit) *Sim {
+	s := simPool.Get().(*Sim)
+	s.Reset(c)
+	return s
+}
+
+func release(s *Sim) {
+	s.C, s.v = nil, nil
+	simPool.Put(s)
+}
+
+// rngPool recycles generators: a math/rand source is a ~5KB allocation,
+// by far the largest per-call cost of the old equivalence checker. Every
+// acquisition reseeds, so pooling cannot leak state between checks.
+var rngPool = sync.Pool{New: func() any { return rand.New(rand.NewSource(0)) }}
 
 // EquivalentRandom checks functional equivalence of a and b (same PI and PO
 // counts, positional correspondence) with rounds*64 random patterns followed
 // by an exhaustive check when the input count is at most maxExhaustive.
-// It returns false as soon as a differing pattern is found.
+// It returns false as soon as a differing pattern is found. The verdict is a
+// pure function of (a, b, rounds, maxExhaustive, seed).
 func EquivalentRandom(a, b *circuit.Circuit, rounds int, maxExhaustive int, seed int64) bool {
 	if len(a.Inputs) != len(b.Inputs) || len(a.Outputs) != len(b.Outputs) {
 		return false
 	}
 	n := len(a.Inputs)
-	sa, sb := New(a), New(b)
+	sa, sb := acquire(a), acquire(b)
+	defer release(sa)
+	defer release(sb)
 	if n <= maxExhaustive && n < 30 {
 		return equivalentExhaustive(sa, sb, n)
 	}
-	rng := rand.New(rand.NewSource(seed))
+	rng := rngPool.Get().(*rand.Rand)
+	defer rngPool.Put(rng)
+	rng.Seed(seed)
 	for r := 0; r < rounds; r++ {
 		for j := 0; j < n; j++ {
 			w := rng.Uint64()
@@ -112,7 +168,7 @@ func equivalentExhaustive(sa, sb *Sim, n int) bool {
 		}
 		sa.Run()
 		sb.Run()
-		for j := range sa.C.Outputs {
+		for j := range sa.v.Out {
 			m := mask64(total - base)
 			if (sa.Output(j)^sb.Output(j))&m != 0 {
 				return false

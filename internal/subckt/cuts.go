@@ -62,10 +62,23 @@ func (db *CutDB) Grow(c *circuit.Circuit) {
 // the node's type/fanin and the fanin cut sets, so recomputing any superset
 // of the changed cone in topological order reproduces exactly what a full
 // ComputeCuts would build.
+//
+// The node's type and fanin are read through the circuit's frozen CSR view:
+// the resynthesis loop calls ComputeNode in bulk between edits (full rebuild
+// or dirty-cone refresh), so after the first call of a batch Freeze is a
+// two-load cache hit and the sweep reads flat arrays instead of per-node
+// heap objects. Cut contents stay keyed by sparse node ID — they outlive
+// any one frozen view. Must not be called while another goroutine reads the
+// circuit (Freeze refreshes derived caches, like Topo).
 func (db *CutDB) ComputeNode(c *circuit.Circuit, id int) {
+	v := c.Freeze()
+	d := v.DenseOf[id]
+	if d < 0 {
+		db.cuts[id] = nil // dead node: no cuts
+		return
+	}
 	k, maxCuts := db.K, db.maxCuts
-	nd := c.Nodes[id]
-	switch nd.Type {
+	switch v.Kind[d] {
 	case circuit.Input:
 		db.cuts[id] = [][]int{{id}}
 	case circuit.Const0, circuit.Const1:
@@ -74,7 +87,8 @@ func (db *CutDB) ComputeNode(c *circuit.Circuit, id int) {
 		merged := [][]int{{id}} // the trivial cut
 		// Cartesian merge across fanins, width-capped.
 		acc := [][]int{{}}
-		for _, f := range nd.Fanin {
+		for _, fd := range v.FaninOf(d) {
+			f := int(v.NodeID[fd])
 			var next [][]int
 			for _, a := range acc {
 				for _, cf := range db.cuts[f] {

@@ -50,6 +50,10 @@ echo "== fuzz smoke =="
 # corpus (including past crashers) and hunts briefly for new ones. Accepted
 # netlists must pass circuit.Check and round-trip through the writer.
 go test ./internal/bench -fuzz FuzzParseBench -fuzztime 5s -run '^$' >/dev/null
+# Same budget for the frozen-CSR invariant fuzzer: every accepted netlist is
+# run through a mutation script with an incremental Freeze + deep audit
+# against a from-scratch rebuild after each step.
+go test ./internal/bench -fuzz FuzzCSRFreeze -fuzztime 5s -run '^$' >/dev/null
 
 echo "== bench smoke =="
 # One iteration of every benchmark, no measurement: catches benches that no
@@ -74,6 +78,7 @@ go run ./cmd/obsdiff -tol 0 -tol-time 100 \
 # Parser sanity on the committed bench baselines (self-diff must be clean).
 go run ./cmd/obsdiff BENCH_2026-08-06.json BENCH_2026-08-06.json >/dev/null
 go run ./cmd/obsdiff BENCH_2026-08-06_lean.json BENCH_2026-08-06_lean.json >/dev/null
+go run ./cmd/obsdiff BENCH_2026-08-08_csr.json BENCH_2026-08-08_csr.json >/dev/null
 
 echo "== bench gate =="
 # Re-measure the resynthesis/identification benchmark set and diff against
@@ -93,6 +98,24 @@ scripts/bench.sh 'Table2Procedure2|ResynthParallel|AblationIdentify' 1 "$benchga
 go run ./cmd/obsdiff -tol-bench "${BENCH_TOL_NS:-1.0}" -tol-alloc 0.01 \
     BENCH_2026-08-06_lean.json "$benchgate"
 
+echo "== CSR bench gate =="
+# Same contract for the frozen-CSR phase benches (BENCH_2026-08-08_csr.json):
+# the csr variants of the path-count and fault-sim benches must hold their
+# allocation profile (0 and 3 allocs/op — an order of magnitude below the
+# map variants kept alongside as Ref* references), and the incremental
+# CSRRebuild must stay allocation-free. A change that quietly un-ports a
+# phase back to map lookups, or makes Freeze allocate per patch, trips the
+# 1% allocs gate here. The ns/op tolerance is wider than the main gate's:
+# this set includes microsecond-scale benches (path count ~6us/op) whose
+# wall clock swings >2x under CI load, so only allocations are a reliable
+# signal at this scale.
+csrgate="$(mktemp)"
+trap 'rm -f "$sftlint" "$fresh" "$benchgate" "$csrgate"' EXIT
+scripts/bench.sh 'CSR(Full)?Rebuild|PathCountProcedure1|FaultSimulation$' 1 "$csrgate" 20x \
+    . ./internal/circuit >/dev/null
+go run ./cmd/obsdiff -tol-bench "${BENCH_TOL_NS_CSR:-4.0}" -tol-alloc 0.01 \
+    BENCH_2026-08-08_csr.json "$csrgate"
+
 echo "== sftverify gate =="
 # Provenance round trip, both directions (README "Provenance & verification").
 # Forward: a fresh c17 run recorded with -events/-cert must replay cleanly
@@ -102,7 +125,7 @@ echo "== sftverify gate =="
 # with exit 1, distinguished from a usage/IO failure (2). Built binaries,
 # not "go run", for the same exit-code reason as the sftlint gate.
 provdir="$(mktemp -d)"
-trap 'rm -f "$sftlint" "$fresh" "$benchgate"; rm -rf "$provdir"' EXIT
+trap 'rm -f "$sftlint" "$fresh" "$benchgate" "$csrgate"; rm -rf "$provdir"' EXIT
 go build -o "$provdir/sft" ./cmd/sft
 go build -o "$provdir/sftverify" ./cmd/sftverify
 "$provdir/sft" -in circuits/c17.bench -out "$provdir/c17_out.bench" \
