@@ -112,6 +112,7 @@ func sft(run *obs.Run, in, out string, obj resynth.Objective, k int,
 	opt.Seed = seed
 	opt.Workers = workers
 	opt.Tracer = run.Tracer
+	opt.Dtrace = run.Dtrace()
 	opt.Check = run.CheckEnabled()
 	opt.Certify = run.CertEnabled()
 	lg.Verbosef("resynthesis starting (objective=%v K=%d sampling=%v)", obj, k, sampling)

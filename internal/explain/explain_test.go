@@ -1,0 +1,222 @@
+package explain_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"compsynth/internal/explain"
+	"compsynth/internal/obs"
+	"compsynth/internal/obs/dtrace"
+
+	// Link the ledger so recorder-written fixtures use the framed encoding —
+	// the loader must accept it as well as plain NDJSON.
+	_ "compsynth/internal/ledger"
+)
+
+// writeFramed records a run_start plus the given decision records through a
+// real flight recorder (ledger-framed, since the ledger is linked into this
+// test binary) and returns the file path.
+func writeFramed(t *testing.T, recs []dtrace.Record) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "ev.ndjson")
+	r, err := obs.NewRecorder(path, 0, obs.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.RunStart("sft", []string{"-k", "5"})
+	for i := range recs {
+		r.Decision(&recs[i])
+	}
+	r.RunEnd(1, "")
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func sampleRecords() []dtrace.Record {
+	return []dtrace.Record{
+		{Seq: 0, Pass: 1, Kind: "cand", Node: 9, Name: "g9", Outcome: dtrace.NoComparisonUnit, Cut: []int{1, 2, 3}, Width: 3},
+		{Seq: 1, Pass: 1, Kind: "cand", Node: 9, Name: "g9", Outcome: dtrace.Accepted, Cut: []int{1, 2}, Width: 2, GateSave: 2},
+		{Seq: 2, Pass: 1, Kind: "gate", Node: 9, Name: "g9", Outcome: dtrace.Replaced, GateSave: 2},
+		{Seq: 3, Pass: 1, Kind: "gate", Node: 7, Name: "g7", Outcome: dtrace.Kept},
+		{Seq: 4, Pass: 2, Kind: "gate", Node: 9, Name: "g9", Outcome: dtrace.SkippedDead},
+		{Seq: 5, Pass: 2, Kind: "cand", Node: 7, Name: "g7", Outcome: dtrace.Dominated, GateSave: 1},
+		{Seq: 6, Pass: 2, Kind: "cand", Node: 7, Name: "g7", Outcome: dtrace.ObjectiveWorse},
+		{Seq: 7, Pass: 2, Kind: "gate", Node: 7, Name: "g7", Outcome: dtrace.Kept},
+	}
+}
+
+func TestLoadFramedStream(t *testing.T) {
+	recs := sampleRecords()
+	tr, err := explain.Load(writeFramed(t, recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Tool != "sft" {
+		t.Errorf("tool = %q, want sft", tr.Tool)
+	}
+	if len(tr.Records) != len(recs) {
+		t.Fatalf("loaded %d records, want %d", len(tr.Records), len(recs))
+	}
+	if tr.Records[1].Outcome != dtrace.Accepted || tr.Records[1].GateSave != 2 {
+		t.Errorf("record 1 round-trip: %+v", tr.Records[1])
+	}
+}
+
+func TestLoadPlainStream(t *testing.T) {
+	// Plain NDJSON, as the recorder writes without the ledger linked.
+	plain := `{"t":"run_start","ms":0,"tool":"sft","args":["-k","5"]}
+{"t":"dtrace","ms":1,"d":{"seq":0,"pass":1,"kind":"gate","node":3,"name":"g3","outcome":"kept"}}
+{"t":"run_end","ms":2,"dur_ms":2}
+`
+	path := filepath.Join(t.TempDir(), "plain.ndjson")
+	if err := os.WriteFile(path, []byte(plain), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := explain.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 1 || tr.Records[0].Outcome != dtrace.Kept {
+		t.Fatalf("plain stream loaded %+v", tr.Records)
+	}
+}
+
+func TestLoadRejectsNonRecording(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk")
+	if err := os.WriteFile(path, []byte("{}\n{}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := explain.Load(path); err == nil {
+		t.Error("loading an event-free file succeeded, want error")
+	}
+}
+
+func TestWhyByNameAndID(t *testing.T) {
+	tr, err := explain.Load(writeFramed(t, sampleRecords()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := tr.Why("g9")
+	if len(byName) != 4 {
+		t.Fatalf("Why(g9) returned %d records, want 4", len(byName))
+	}
+	byID := tr.Why("9")
+	if len(byID) != len(byName) {
+		t.Errorf("Why(9) returned %d records, Why(g9) %d — id lookup diverges", len(byID), len(byName))
+	}
+	if tr.Why("nosuch") != nil {
+		t.Error("Why(nosuch) returned records")
+	}
+}
+
+func TestReasonCounts(t *testing.T) {
+	tr, err := explain.Load(writeFramed(t, sampleRecords()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := tr.ReasonCounts()
+	want := map[[2]int]int{} // (pass, outcome) -> count
+	for _, r := range sampleRecords() {
+		want[[2]int{r.Pass, int(r.Outcome)}]++
+	}
+	if len(counts) != len(want) {
+		t.Fatalf("ReasonCounts has %d rows, want %d", len(counts), len(want))
+	}
+	lastPass := 0
+	for _, rc := range counts {
+		if rc.Pass < lastPass {
+			t.Error("ReasonCounts not ordered by pass")
+		}
+		lastPass = rc.Pass
+		if got := want[[2]int{rc.Pass, int(rc.Outcome)}]; got != rc.Count {
+			t.Errorf("pass %d %v: count %d, want %d", rc.Pass, rc.Outcome, rc.Count, got)
+		}
+	}
+}
+
+func TestFunnel(t *testing.T) {
+	tr, err := explain.Load(writeFramed(t, sampleRecords()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := tr.Funnel()
+	want := explain.Funnel{
+		GatesVisited:  3, // replaced g9, kept g7 twice
+		GatesSkipped:  1, // dead g9 in pass 2
+		Candidates:    4,
+		Realized:      3, // accepted + dominated + objective_worse
+		Accepted:      1,
+		GatesReplaced: 1,
+	}
+	if f != want {
+		t.Errorf("Funnel = %+v, want %+v", f, want)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	recsA := sampleRecords()
+	a, err := explain.Load(writeFramed(t, recsA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := explain.Load(writeFramed(t, recsA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := explain.Diff(a, b); len(d) != 0 {
+		t.Fatalf("identical traces diff: %+v", d)
+	}
+
+	// Flip g7's final outcome and add a node only b has.
+	recsB := append(sampleRecords(),
+		dtrace.Record{Seq: 8, Pass: 2, Kind: "gate", Node: 7, Name: "g7", Outcome: dtrace.Replaced},
+		dtrace.Record{Seq: 9, Pass: 2, Kind: "gate", Node: 11, Name: "g11", Outcome: dtrace.Kept},
+	)
+	b2, err := explain.Load(writeFramed(t, recsB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := explain.Diff(a, b2)
+	if len(d) != 2 {
+		t.Fatalf("diff has %d entries, want 2: %+v", len(d), d)
+	}
+	if d[0].Node != "g11" || d[0].AOk || !d[0].BOk {
+		t.Errorf("diff[0] = %+v, want g11 present only in b", d[0])
+	}
+	if d[1].Node != "g7" || d[1].A != dtrace.Kept || d[1].B != dtrace.Replaced {
+		t.Errorf("diff[1] = %+v, want g7 kept->replaced", d[1])
+	}
+}
+
+func TestExportCanonical(t *testing.T) {
+	recs := sampleRecords()
+	tr, err := explain.Load(writeFramed(t, recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimRight(buf.Bytes(), "\n"), []byte("\n"))
+	if len(lines) != len(recs) {
+		t.Fatalf("export has %d lines, want %d", len(lines), len(recs))
+	}
+	// Export strips the event envelope: the same records loaded from a
+	// differently-framed stream export byte-identically.
+	tr2, err := explain.Load(writeFramed(t, recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := tr2.Export(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("exports of identical record sets differ")
+	}
+}

@@ -39,6 +39,17 @@ var std = NewMetrics()
 // their instruments here at init; commands snapshot it into the run report.
 func Default() *Metrics { return std }
 
+var live = NewMetrics()
+
+// Live returns the process-wide live-only registry: instruments whose values
+// depend on scheduling, timing or worker interleaving — queue wait/run
+// histograms, per-worker task tallies, memo-cache hit rates. The telemetry
+// endpoints (/metrics, /progress) surface it next to Default, but run
+// reports deliberately exclude it: reports feed the obsdiff determinism
+// gates, which diff deterministic quantities at tolerance zero, and a
+// scheduling-dependent value there would make every CI run a coin flip.
+func Live() *Metrics { return live }
+
 // C returns (creating if needed) the counter with this name in the Default
 // registry. Shorthand for package-level instrument declarations.
 func C(name string) *Counter { return std.Counter(name) }

@@ -6,10 +6,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"compsynth/internal/circuit"
+	"compsynth/internal/obs/dtrace"
 )
 
 // Flags holds the runtime flags shared by every command:
@@ -22,6 +25,7 @@ import (
 //	-pprof ADDR         deprecated alias for -listen
 //	-events FILE        stream NDJSON run events (flight recorder) to FILE
 //	-heartbeat D        heartbeat snapshot interval for -events (0 disables)
+//	-dtrace MODE        decision-trace recording (off, full, sampled:N)
 //	-workers N          worker goroutines for the parallel phases
 type Flags struct {
 	Trace      bool
@@ -41,6 +45,12 @@ type Flags struct {
 
 	// Heartbeat is the -events snapshot interval (0 disables heartbeats).
 	Heartbeat time.Duration
+
+	// Dtrace selects decision-trace recording for the resynthesis sweep:
+	// "off" (default), "full", or "sampled:N" (acceptances always recorded,
+	// every Nth rejection). Anything but off requires -events — the trace
+	// rides the flight-recorder stream. See internal/obs/dtrace.
+	Dtrace string
 
 	// Cert writes a verifiable run certificate (JSON) to this file at
 	// Finish: input/output circuit digests, an options digest, equivalence
@@ -74,6 +84,8 @@ func AddFlags(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.PprofAddr, "pprof", "", "deprecated alias for -listen")
 	fs.StringVar(&f.Events, "events", "", "stream NDJSON run events (flight recorder) to this file")
 	fs.DurationVar(&f.Heartbeat, "heartbeat", time.Second, "heartbeat snapshot interval for -events (0 disables)")
+	fs.StringVar(&f.Dtrace, "dtrace", "off",
+		"decision-trace recording for the resynthesis sweep: off, full, or sampled:N (requires -events; queried with sftexplain)")
 	fs.StringVar(&f.Cert, "cert", "", "write a verifiable run certificate (circuit digests, equivalence evidence, ledger binding) to this file")
 	fs.IntVar(&f.Workers, "workers", runtime.GOMAXPROCS(0),
 		"worker goroutines for parallel phases (results are identical for any value; 1 = serial)")
@@ -135,6 +147,8 @@ type Run struct {
 	start    time.Time
 	server   TelemetryServer
 	recorder *Recorder
+	dtrace   *dtrace.Tracer
+	sigCh    chan os.Signal
 
 	// Certificate state, populated only when -cert is given: the circuits
 	// CircuitBefore/After observed, the command's semantic options (set via
@@ -158,6 +172,7 @@ func (f *Flags) Start(tool string) *Run {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
 		os.Exit(2)
 	}
+	r.watchSignals()
 	return r
 }
 
@@ -188,6 +203,13 @@ func (f *Flags) start(tool string) (*Run, error) {
 	if f.Cert != "" && certBody == nil {
 		return nil, fmt.Errorf("-cert %s: certifier not linked in (import compsynth/internal/ledger)", f.Cert)
 	}
+	dmode, err := dtrace.ParseMode(f.Dtrace)
+	if err != nil {
+		return nil, fmt.Errorf("-dtrace: %v", err)
+	}
+	if dmode.Level != dtrace.LevelOff && f.Events == "" {
+		return nil, fmt.Errorf("-dtrace %s: requires -events (the decision trace streams through the flight recorder)", f.Dtrace)
+	}
 	if f.Events != "" {
 		rec, err := NewRecorder(f.Events, f.Heartbeat, r.Metrics)
 		if err != nil {
@@ -197,6 +219,7 @@ func (f *Flags) start(tool string) (*Run, error) {
 		rec.RunStart(tool, os.Args[1:])
 		r.Tracer.SetObserver(rec)
 		SetProgressSink(rec)
+		r.dtrace = dtrace.New(dmode, rec.Decision)
 		r.Log.Verbosef("recording events to %s", f.Events)
 	}
 	if listen != "" {
@@ -224,6 +247,49 @@ func (r *Run) Server() TelemetryServer { return r.server }
 // it to thread per-pass validation into resynth.Options.Check and
 // exper.Config.Check.
 func (r *Run) CheckEnabled() bool { return r.flags.Check }
+
+// Dtrace returns the decision-trace tracer built from -dtrace, or nil when
+// tracing is off. Commands thread it into resynth.Options.Dtrace; the nil
+// tracer no-ops, so unconditional threading is fine.
+func (r *Run) Dtrace() *dtrace.Tracer { return r.dtrace }
+
+// watchSignals installs the SIGINT/SIGTERM handler: an interrupted run still
+// flushes the -events stream, seals the ledger, and writes a partial run
+// report (with the interrupt recorded as the run error) before exiting
+// non-zero — without it an interrupt silently drops the flight recorder
+// tail, which is exactly the part of the stream a post-mortem needs.
+// Finish uninstalls the handler, restoring default signal behavior after a
+// normal completion.
+func (r *Run) watchSignals() {
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	r.sigCh = ch
+	go func() {
+		sig, ok := <-ch
+		if !ok {
+			return // Finish closed the channel: normal completion
+		}
+		os.Exit(r.Interrupt(sig))
+	}()
+}
+
+// Interrupt finishes the run as killed by sig — the artifacts (report,
+// event stream, sealed ledger) are still written, carrying the interrupt as
+// the run error — and returns the non-zero status for os.Exit. Split from
+// the signal goroutine so tests can drive the interrupt path in-process.
+func (r *Run) Interrupt(sig os.Signal) int {
+	return r.Fail(fmt.Errorf("interrupted by %v", sig))
+}
+
+// stopSignals uninstalls the signal handler and releases its goroutine.
+func (r *Run) stopSignals() {
+	if r.sigCh == nil {
+		return
+	}
+	signal.Stop(r.sigCh)
+	close(r.sigCh)
+	r.sigCh = nil
+}
 
 // CircuitBefore records (and verbosely logs) the input circuit. Under -cert
 // the circuit is retained for the certificate, so callers must not mutate it
@@ -349,6 +415,7 @@ func (r *Run) closeRecorder() error {
 // It returns the first artifact error (report or event stream); callers
 // treat it as fatal so a missing artifact never passes silently.
 func (r *Run) Finish() error {
+	r.stopSignals()
 	r.root.End()
 	r.Report.DurationMS = float64(time.Since(r.start)) / float64(time.Millisecond)
 	r.Report.Spans = r.Tracer.Export()

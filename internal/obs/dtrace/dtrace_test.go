@@ -1,0 +1,161 @@
+package dtrace
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestParseMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Mode
+		ok   bool
+	}{
+		{"off", Mode{Level: LevelOff}, true},
+		{"", Mode{Level: LevelOff}, true},
+		{"full", Mode{Level: LevelFull}, true},
+		{"sampled:1", Mode{Level: LevelSampled, N: 1}, true},
+		{"sampled:100", Mode{Level: LevelSampled, N: 100}, true},
+		{"sampled:0", Mode{}, false},
+		{"sampled:-3", Mode{}, false},
+		{"sampled:x", Mode{}, false},
+		{"verbose", Mode{}, false},
+	} {
+		got, err := ParseMode(tc.in)
+		if (err == nil) != tc.ok {
+			t.Errorf("ParseMode(%q) err = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && got != tc.want {
+			t.Errorf("ParseMode(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestModeRoundTrip(t *testing.T) {
+	for _, s := range []string{"off", "full", "sampled:7"} {
+		m, err := ParseMode(s)
+		if err != nil {
+			t.Fatalf("ParseMode(%q): %v", s, err)
+		}
+		if m.String() != s {
+			t.Errorf("ParseMode(%q).String() = %q", s, m.String())
+		}
+	}
+}
+
+func TestReasonJSONRoundTrip(t *testing.T) {
+	for r := Accepted; r < numReasons; r++ {
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", r, err)
+		}
+		var back Reason
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if back != r {
+			t.Errorf("round trip %v -> %s -> %v", r, b, back)
+		}
+	}
+	var bad Reason
+	if err := json.Unmarshal([]byte(`"not_a_reason"`), &bad); err == nil {
+		t.Error("unmarshal of an unknown reason succeeded")
+	}
+	if _, err := json.Marshal(numReasons); err == nil {
+		t.Error("marshal of an out-of-range reason succeeded")
+	}
+}
+
+func TestReasonsCoverEnum(t *testing.T) {
+	names := Reasons()
+	if len(names) != int(numReasons) {
+		t.Fatalf("Reasons() has %d entries, want %d", len(names), numReasons)
+	}
+	seen := map[string]bool{}
+	for i, n := range names {
+		if n == "" {
+			t.Fatalf("reason %d has no name", i)
+		}
+		if seen[n] {
+			t.Fatalf("duplicate reason name %q", n)
+		}
+		seen[n] = true
+		if r, err := ParseReason(n); err != nil || r != Reason(i) {
+			t.Errorf("ParseReason(%q) = %v, %v; want %d", n, r, err, i)
+		}
+	}
+}
+
+func TestNilTracerNoAlloc(t *testing.T) {
+	var dt *Tracer
+	if n := testing.AllocsPerRun(200, func() {
+		dt.Emit(Record{Kind: "cand", Node: 7, Outcome: Dominated})
+	}); n != 0 {
+		t.Fatalf("nil tracer Emit allocates %v times per call, want 0", n)
+	}
+	if dt.Emitted() != 0 || dt.Mode().Level != LevelOff {
+		t.Error("nil tracer reports non-zero state")
+	}
+}
+
+func TestNewOffIsNil(t *testing.T) {
+	if New(Mode{Level: LevelOff}, func(*Record) {}) != nil {
+		t.Error("New(off) is not the nil tracer")
+	}
+	if New(Mode{Level: LevelFull}, nil) != nil {
+		t.Error("New(full, nil sink) is not the nil tracer")
+	}
+}
+
+// TestSamplingDeterministic pins the sampling filter: acceptances and gate
+// summaries always pass, rejections pass on a deterministic 1-in-N counter,
+// and sequence numbers stay dense over the kept records.
+func TestSamplingDeterministic(t *testing.T) {
+	run := func() []Record {
+		var got []Record
+		dt := New(Mode{Level: LevelSampled, N: 3}, func(r *Record) { got = append(got, *r) })
+		for i := 0; i < 10; i++ {
+			dt.Emit(Record{Kind: "cand", Node: i, Outcome: Dominated})
+		}
+		dt.Emit(Record{Kind: "cand", Node: 99, Outcome: Accepted})
+		dt.Emit(Record{Kind: "gate", Node: 99, Outcome: Replaced})
+		return got
+	}
+	a, b := run(), run()
+	// 10 rejections at stride 3 keep nodes 0, 3, 6, 9; both acceptances pass.
+	wantNodes := []int{0, 3, 6, 9, 99, 99}
+	if len(a) != len(wantNodes) {
+		t.Fatalf("kept %d records, want %d: %+v", len(a), len(wantNodes), a)
+	}
+	for i, r := range a {
+		if r.Node != wantNodes[i] {
+			t.Errorf("record %d node = %d, want %d", i, r.Node, wantNodes[i])
+		}
+		if r.Seq != int64(i) {
+			t.Errorf("record %d seq = %d, want dense %d", i, r.Seq, i)
+		}
+		if !recordsEqual(a[i], b[i]) {
+			t.Errorf("sampling not deterministic at record %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// recordsEqual compares records by their canonical JSON form (Record carries
+// a slice field, so == does not apply).
+func recordsEqual(a, b Record) bool {
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	return string(ja) == string(jb)
+}
+
+func TestFullModeKeepsEverything(t *testing.T) {
+	var got []Record
+	dt := New(Mode{Level: LevelFull}, func(r *Record) { got = append(got, *r) })
+	for i := 0; i < 5; i++ {
+		dt.Emit(Record{Kind: "cand", Node: i, Outcome: NoComparisonUnit})
+	}
+	if len(got) != 5 || dt.Emitted() != 5 {
+		t.Fatalf("full mode kept %d/%d records, want 5/5", len(got), dt.Emitted())
+	}
+}

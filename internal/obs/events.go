@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"compsynth/internal/obs/dtrace"
 )
 
 // Event is one NDJSON line of the flight recorder. Every event carries its
@@ -19,6 +21,7 @@ import (
 //	span_end    name, depth, dur_ms, alloc_bytes
 //	progress    stage, done, total (total 0 = unbounded)
 //	heartbeat   counters, gauges, goroutines, heap_bytes
+//	dtrace      d (one decision-trace record; see internal/obs/dtrace)
 //	cert        digest (body digest of the certificate emitted by this run)
 //	run_end     dur_ms, error
 type Event struct {
@@ -39,6 +42,7 @@ type Event struct {
 	Gauges     map[string]int64 `json:"gauges,omitempty"`
 	Digest     string           `json:"digest,omitempty"`
 	Error      string           `json:"error,omitempty"`
+	Decision   *dtrace.Record   `json:"d,omitempty"`
 }
 
 // LedgerState is a snapshot of the tamper-evident ledger wrapped around the
@@ -151,6 +155,17 @@ func (r *Recorder) RecordCert(digest string) {
 		return
 	}
 	r.write(Event{Type: "cert", Digest: digest})
+}
+
+// Decision streams one decision-trace record as a Type "dtrace" event. The
+// dtrace tracer built by Flags.Start uses this method as its sink, so every
+// decision the resynthesis sweep explains rides the same NDJSON stream —
+// and the same hash chain — as the rest of the flight recording.
+func (r *Recorder) Decision(rec *dtrace.Record) {
+	if r == nil {
+		return
+	}
+	r.write(Event{Type: "dtrace", Decision: rec})
 }
 
 // LedgerState reports the framing ledger's state. ok is false when no ledger

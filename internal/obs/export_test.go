@@ -1,0 +1,7 @@
+package obs
+
+// StartForTest exposes the fallible half of Flags.Start to external tests
+// (Start itself exits the process on error).
+func StartForTest(f *Flags, tool string) (*Run, error) {
+	return f.start(tool)
+}

@@ -28,13 +28,20 @@ import (
 	"strings"
 	"time"
 
+	"compsynth/internal/metric"
 	"compsynth/internal/obs"
+	"compsynth/internal/par"
 )
 
 func init() {
 	obs.RegisterTelemetry(func(r *obs.Run, addr string) (obs.TelemetryServer, error) {
 		return New(r, addr)
 	})
+	// The worker pool reads wall-clock time only through this seam: linking
+	// the telemetry package is what turns on its task wait/run histograms
+	// (Live registry), keeping internal/par itself free of time.Now and the
+	// deterministic pipeline free of timing reads.
+	par.SetClock(time.Now)
 }
 
 // Server serves the telemetry endpoints for one run.
@@ -68,6 +75,11 @@ func Handler(run *obs.Run) http.Handler {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		WriteProm(w, run.Metrics.Snapshot())
+		// The Live registry (scheduling- and timing-dependent instruments:
+		// queue timings, cache hit/miss, per-worker claims) is exposed here
+		// but never snapshotted into run reports — its families are disjoint
+		// from the Default registry's, so the streams concatenate cleanly.
+		WriteProm(w, metric.Live().Snapshot())
 		// The ledger's chain head is a string, so it rides on an info-style
 		// gauge (value 1, head as a label) next to the ledger.* counters.
 		if ls, ok := run.LedgerState(); ok {
@@ -102,6 +114,11 @@ type Progress struct {
 	Gauges     map[string]int64 `json:"gauges,omitempty"`
 	Ledger     *obs.LedgerState `json:"ledger,omitempty"`
 	Spans      []obs.SpanJSON   `json:"spans,omitempty"`
+
+	// Live is the Live-registry snapshot (worker-pool queue telemetry:
+	// task wait/run histograms, cache hit/miss, per-worker claims). Omitted
+	// while empty; never part of run reports.
+	Live *obs.Snapshot `json:"live,omitempty"`
 }
 
 func snapshotProgress(run *obs.Run) Progress {
@@ -117,6 +134,9 @@ func snapshotProgress(run *obs.Run) Progress {
 	}
 	if ls, ok := run.LedgerState(); ok {
 		p.Ledger = &ls
+	}
+	if live := metric.Live().Snapshot(); len(live.Counters) > 0 || len(live.Gauges) > 0 || len(live.Histograms) > 0 {
+		p.Live = &live
 	}
 	return p
 }

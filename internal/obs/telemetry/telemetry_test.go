@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"encoding/json"
+	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -9,6 +10,7 @@ import (
 	"testing"
 
 	"compsynth/internal/obs"
+	"compsynth/internal/par"
 )
 
 // TestNewBindFailure pins that a -listen address that cannot be bound is a
@@ -62,6 +64,73 @@ func TestHandlerEndpoints(t *testing.T) {
 	}
 	if prog.Tool != "telemetrytest" || prog.Goroutines <= 0 {
 		t.Errorf("progress = %+v, want tool=telemetrytest and goroutines > 0", prog)
+	}
+}
+
+// TestParTelemetryConformance pins the worker-pool telemetry contract: after
+// a parallel fan-out (with the clock this package's init installed), the
+// queue-depth gauge, task wait/run histograms, per-worker claim counters and
+// cache hit/miss counters all surface on /metrics, and /progress carries the
+// Live-registry section.
+func TestParTelemetryConformance(t *testing.T) {
+	run := (&obs.Flags{}).Start("telemetrytest")
+	defer run.Finish()
+	srv := httptest.NewServer(Handler(run))
+	defer srv.Close()
+
+	// One parallel fan-out plus one cache hit and miss to populate the
+	// instruments this test asserts on.
+	par.Run(nil, "conformance", 4, 64, func(_, _ int) {})
+	cache := par.NewCache[int, int]()
+	cache.Get(1)
+	cache.Set(1, 1)
+	cache.Get(1)
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"# TYPE par_queue_depth gauge",
+		"par_task_wait_ms_bucket{le=",
+		"par_task_run_ms_count",
+		"# TYPE par_cache_hits counter",
+		"# TYPE par_cache_misses counter",
+		"# TYPE par_worker_tasks_w0 counter",
+		"# TYPE par_tasks counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	resp, err = http.Get(srv.URL + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prog Progress
+	err = json.NewDecoder(resp.Body).Decode(&prog)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Live == nil {
+		t.Fatal("/progress has no live section after a parallel fan-out")
+	}
+	if _, ok := prog.Live.Histograms["par.task_wait_ms"]; !ok {
+		t.Error("/progress live section missing par.task_wait_ms histogram")
+	}
+	if _, ok := prog.Live.Counters["par.cache_hits"]; !ok {
+		t.Error("/progress live section missing par.cache_hits counter")
+	}
+	if _, ok := prog.Gauges["par.queue_depth"]; !ok {
+		t.Error("/progress default gauges missing par.queue_depth")
 	}
 }
 

@@ -198,7 +198,14 @@ func diffHistograms(r *Result, opt Options, before, after map[string]obs.Histogr
 		a, inA := after[name]
 		r.add(opt, "hist."+name+".count", float64(b.Count), float64(a.Count), opt.Tol)
 		markMissing(r, inB, inA)
-		r.add(opt, "hist."+name+".mean", b.Mean, a.Mean, opt.Tol)
+		// Sample counts are deterministic, but a mean over wall-clock
+		// samples (latency/duration histograms) is not — grant those
+		// TolTime, matching how diffResults treats _ms leaves.
+		tol := opt.Tol
+		if strings.Contains(name, "_ms") || strings.Contains(name, "duration") {
+			tol = opt.TolTime
+		}
+		r.add(opt, "hist."+name+".mean", b.Mean, a.Mean, tol)
 	}
 }
 

@@ -44,6 +44,74 @@ func TestDiffReportsCounterRegression(t *testing.T) {
 	}
 }
 
+// TestHistogramTimingTolerance pins the histogram hygiene rule: sample
+// counts are deterministic and diff at Tol (zero), but the mean of a
+// wall-clock histogram (_ms / duration names, e.g. the par.task_wait_ms
+// queue telemetry) varies run to run and diffs at TolTime instead.
+func TestHistogramTimingTolerance(t *testing.T) {
+	hist := func(name string, count int64, mean float64) *obs.Report {
+		return &obs.Report{Tool: "t", Metrics: obs.Snapshot{
+			Histograms: map[string]obs.HistogramStats{name: {Count: count, Mean: mean}},
+		}}
+	}
+	opt := DefaultOptions()
+	// A 30% slower mean on a timing histogram is within TolTime (50%).
+	regs := DiffReports(hist("par.task_wait_ms", 64, 1.0), hist("par.task_wait_ms", 64, 1.3), opt).Regressions()
+	if len(regs) != 0 {
+		t.Errorf("timing-histogram mean jitter regressed: %v", names(regs))
+	}
+	// The same drift on a non-timing histogram stays a zero-tol regression.
+	regs = DiffReports(hist("resynth.candidate_inputs", 64, 1.0), hist("resynth.candidate_inputs", 64, 1.3), opt).Regressions()
+	if len(regs) != 1 || regs[0].Name != "hist.resynth.candidate_inputs.mean" {
+		t.Errorf("deterministic histogram mean drift did not regress: %v", names(regs))
+	}
+	// Sample-count drift regresses even on timing histograms.
+	regs = DiffReports(hist("par.task_wait_ms", 64, 1.0), hist("par.task_wait_ms", 65, 1.0), opt).Regressions()
+	if len(regs) != 1 || regs[0].Name != "hist.par.task_wait_ms.count" {
+		t.Errorf("timing-histogram count drift did not regress: %v", names(regs))
+	}
+}
+
+// TestResultJSONShape pins the machine-readable schema behind obsdiff -json:
+// consumers rely on the kind/deltas envelope and the per-delta field names.
+func TestResultJSONShape(t *testing.T) {
+	before := report(100, map[string]int64{"resynth.passes": 3})
+	after := report(100, map[string]int64{"resynth.passes": 4})
+	raw, err := json.Marshal(DiffReports(before, after, DefaultOptions()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Kind   string `json:"kind"`
+		Deltas []struct {
+			Name       string  `json:"name"`
+			Before     float64 `json:"before"`
+			After      float64 `json:"after"`
+			Rel        float64 `json:"rel"`
+			Tol        float64 `json:"tol"`
+			Regression bool    `json:"regression"`
+		} `json:"deltas"`
+	}
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Kind != "report" || len(decoded.Deltas) == 0 {
+		t.Fatalf("JSON envelope = kind %q with %d deltas", decoded.Kind, len(decoded.Deltas))
+	}
+	found := false
+	for _, d := range decoded.Deltas {
+		if d.Name == "counter.resynth.passes" {
+			found = true
+			if d.Before != 3 || d.After != 4 || !d.Regression {
+				t.Errorf("delta fields did not survive the JSON round trip: %+v", d)
+			}
+		}
+	}
+	if !found {
+		t.Error("counter delta missing from JSON output")
+	}
+}
+
 // TestDirection pins that regression direction follows the quantity name:
 // wall-clock may improve freely, coverage may only fall, detections may
 // only fall, and "more is worse" quantities may only rise.

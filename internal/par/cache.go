@@ -41,12 +41,22 @@ func (c *Cache[K, V]) shard(key K) *struct {
 	return &c.shards[maphash.Comparable(cacheHashSeed, key)%cacheShards]
 }
 
-// Get returns the cached value for key.
+// Get returns the cached value for key. Hits and misses feed the aggregate
+// live counters par.cache_hits / par.cache_misses (one atomic add — the
+// warm-hit path stays allocation-free, pinned by the resynth AllocsPerRun
+// tests). The split is scheduling-dependent — two workers racing on a cold
+// key both miss where a serial run hits once — which is why the counters
+// live in the Live registry, not in run reports.
 func (c *Cache[K, V]) Get(key K) (V, bool) {
 	s := c.shard(key)
 	s.mu.RLock()
 	v, ok := s.m[key]
 	s.mu.RUnlock()
+	if ok {
+		lHits.Inc()
+	} else {
+		lMisses.Inc()
+	}
 	return v, ok
 }
 

@@ -60,3 +60,19 @@ func TestIdentifyCacheHitZeroAlloc(t *testing.T) {
 		t.Fatalf("warm identify allocates %v times per call, want 0", n)
 	}
 }
+
+// TestTraceGateOffZeroAlloc pins the -dtrace=off contract end to end at the
+// sweep's emission site: with no tracer installed (o.dt == nil, the default)
+// traceGate must return before building a record, so tracing costs the
+// untraced pipeline nothing.
+func TestTraceGateOffZeroAlloc(t *testing.T) {
+	o, sub, _ := warmOptimizer(t)
+	c := gen.SmallSuite()[0].Build()
+	c.Simplify()
+	cand := &candidate{sub: sub}
+	if n := testing.AllocsPerRun(200, func() {
+		o.traceGate(c, sub.Out, 0, cand)
+	}); n != 0 {
+		t.Fatalf("traceGate with tracing off allocates %v times per call, want 0", n)
+	}
+}

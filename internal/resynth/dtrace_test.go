@@ -1,0 +1,126 @@
+package resynth
+
+import (
+	"encoding/json"
+	"testing"
+
+	"compsynth/internal/gen"
+	"compsynth/internal/obs/dtrace"
+)
+
+// traceRun optimizes c with a capturing decision-trace sink and returns the
+// records plus the result.
+func traceRun(t *testing.T, opt Options, workers int) ([]dtrace.Record, *Result) {
+	t.Helper()
+	var recs []dtrace.Record
+	opt.Workers = workers
+	opt.Dtrace = dtrace.New(dtrace.Mode{Level: dtrace.LevelFull}, func(r *dtrace.Record) {
+		recs = append(recs, *r)
+	})
+	c := gen.SmallSuite()[0].Build()
+	res, err := Optimize(c, opt)
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	return recs, res
+}
+
+// TestDtraceDeterministicAcrossWorkers is the decision-trace half of the
+// determinism contract: the full trace — every record, in order, marshaled —
+// is byte-identical for serial and parallel runs. Records are emitted only
+// from the serial sweep and carry no scheduling-dependent fields, so any
+// divergence here means a worker leaked into the decision path.
+func TestDtraceDeterministicAcrossWorkers(t *testing.T) {
+	for _, objective := range []Objective{MinGates, MinPaths, Combined} {
+		opt := DefaultOptions()
+		opt.Objective = objective
+		opt.MaxPasses = 4
+		opt.Verify = false
+		serial, _ := traceRun(t, opt, 1)
+		parallel, _ := traceRun(t, opt, 8)
+		sj, err := json.Marshal(serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pj, err := json.Marshal(parallel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(sj) != string(pj) {
+			t.Errorf("%v: decision traces diverge across workers (%d vs %d records)",
+				objective, len(serial), len(parallel))
+		}
+		if len(serial) == 0 {
+			t.Errorf("%v: empty decision trace", objective)
+		}
+	}
+}
+
+// TestDtraceAccountsForEveryDecision pins the trace's completeness
+// invariants: every outcome is an enumerated reason used on the right record
+// kind, accepted candidate records match gate-level replacements one-to-one,
+// and the replacement count in the result equals both.
+func TestDtraceAccountsForEveryDecision(t *testing.T) {
+	opt := DefaultOptions()
+	opt.MaxPasses = 4
+	opt.Verify = false
+	recs, res := traceRun(t, opt, 4)
+
+	candOutcomes := map[dtrace.Reason]bool{
+		dtrace.Accepted:         true,
+		dtrace.ConstFunction:    true,
+		dtrace.NoComparisonUnit: true,
+		dtrace.Dominated:        true,
+		dtrace.ObjectiveWorse:   true,
+		dtrace.PathBound:        true,
+	}
+	gateOutcomes := map[dtrace.Reason]bool{
+		dtrace.Replaced:        true,
+		dtrace.Kept:            true,
+		dtrace.SkippedDead:     true,
+		dtrace.SkippedUnmarked: true,
+		dtrace.SkippedNonGate:  true,
+	}
+	accepted, replaced := 0, 0
+	for i, r := range recs {
+		switch r.Kind {
+		case "cand":
+			if !candOutcomes[r.Outcome] {
+				t.Fatalf("record %d: candidate outcome %v not in the candidate enum", i, r.Outcome)
+			}
+			if r.Outcome == dtrace.Accepted {
+				accepted++
+			}
+		case "gate":
+			if !gateOutcomes[r.Outcome] {
+				t.Fatalf("record %d: gate outcome %v not in the gate enum", i, r.Outcome)
+			}
+			if r.Outcome == dtrace.Replaced {
+				replaced++
+			}
+		default:
+			t.Fatalf("record %d: unknown kind %q", i, r.Kind)
+		}
+	}
+	if accepted != res.Replacements || replaced != res.Replacements {
+		t.Errorf("trace accounts %d accepted / %d replaced records, result reports %d replacements",
+			accepted, replaced, res.Replacements)
+	}
+	if res.Replacements == 0 {
+		t.Error("suite circuit produced no replacements; trace invariants untested")
+	}
+}
+
+// TestDtraceSeqDense pins the tracer-assigned sequence numbers: full mode
+// numbers every record densely from 0, giving consumers a gap-free cursor.
+func TestDtraceSeqDense(t *testing.T) {
+	opt := DefaultOptions()
+	opt.MaxPasses = 2
+	opt.Verify = false
+	recs, _ := traceRun(t, opt, 1)
+	for i, r := range recs {
+		if r.Seq != int64(i) {
+			t.Fatalf("record %d carries seq %d, want dense numbering", i, r.Seq)
+		}
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"compsynth/internal/ledger"
 	"compsynth/internal/logic"
 	"compsynth/internal/obs"
+	"compsynth/internal/obs/dtrace"
 	"compsynth/internal/par"
 	"compsynth/internal/paths"
 	"compsynth/internal/simulate"
@@ -131,6 +132,14 @@ type Options struct {
 	// the zero-overhead fast path.
 	Tracer *obs.Tracer
 
+	// Dtrace streams one decision record per gate and per candidate the
+	// serial sweep considers (see internal/obs/dtrace). Records are emitted
+	// only from the serial sweep — never from the concurrent prefetch — and
+	// carry no timing or cache provenance, so the stream is byte-identical
+	// for every Workers value. The nil tracer (the default) no-ops without
+	// allocating.
+	Dtrace *dtrace.Tracer
+
 	// forceFull disables the incremental between-pass refresh, rebuilding
 	// every pass's derived state from scratch. Test-only: the determinism
 	// test proves incremental and full runs are bit-identical.
@@ -213,6 +222,7 @@ func Optimize(c *circuit.Circuit, opt Options) (*Result, error) {
 	}
 	o := &optimizer{
 		opt:        opt,
+		dt:         opt.Dtrace,
 		workers:    par.Workers(opt.Workers),
 		cache:      par.NewCache[logic.Key, cachedSpec](),
 		multiCache: par.NewCache[logic.Key, cachedMulti](),
@@ -322,6 +332,7 @@ type extracted struct {
 // function of its key, so racing fills store equal values.
 type optimizer struct {
 	opt        Options
+	dt         *dtrace.Tracer // decision-trace sink; nil = off
 	workers    int
 	cache      *par.Cache[logic.Key, cachedSpec]
 	multiCache *par.Cache[logic.Key, cachedMulti]
@@ -393,11 +404,17 @@ func (o *optimizer) pass(c *circuit.Circuit) int {
 	replaced := 0
 	for i := len(topo) - 1; i >= 0; i-- {
 		g := topo[i]
-		if !c.Alive(g) || !marked[g] {
+		if !c.Alive(g) {
+			o.traceGate(c, g, dtrace.SkippedDead, nil)
+			continue
+		}
+		if !marked[g] {
+			o.traceGate(c, g, dtrace.SkippedUnmarked, nil)
 			continue
 		}
 		nd := c.Nodes[g]
 		if nd.Type == circuit.Input || nd.Type == circuit.Const0 || nd.Type == circuit.Const1 {
+			o.traceGate(c, g, dtrace.SkippedNonGate, nil)
 			continue
 		}
 		best := o.selectReplacement(c, g)
@@ -405,6 +422,8 @@ func (o *optimizer) pass(c *circuit.Circuit) int {
 		// throttles; the off path is one atomic load).
 		obs.EmitProgress("resynth.candidates", mCandidates.Value(), 0)
 		if best != nil {
+			// Traced before apply, while g and its path label are live.
+			o.traceGate(c, g, dtrace.Replaced, best)
 			o.apply(c, best)
 			mReplacements.Inc()
 			replaced++
@@ -412,12 +431,63 @@ func (o *optimizer) pass(c *circuit.Circuit) int {
 				mark(in)
 			}
 		} else {
+			o.traceGate(c, g, dtrace.Kept, nil)
 			for _, f := range nd.Fanin {
 				mark(f)
 			}
 		}
 	}
 	return replaced
+}
+
+// traceGate emits the per-gate summary decision record: how the sweep
+// disposed of node g this pass. With tracing off (o.dt == nil) it returns
+// before building the record, keeping the sweep allocation-free.
+func (o *optimizer) traceGate(c *circuit.Circuit, g int, outcome dtrace.Reason, best *candidate) {
+	if o.dt == nil {
+		return
+	}
+	rec := dtrace.Record{
+		Pass:    o.passNo,
+		Kind:    "gate",
+		Node:    g,
+		Name:    c.Nodes[g].Name,
+		Outcome: outcome,
+	}
+	if best != nil {
+		rec.Cut = best.sub.Inputs
+		rec.Width = len(best.sub.Inputs)
+		rec.GateSave = best.gateSave
+		rec.PathsBefore = o.np[g]
+		rec.PathsAfter = best.pathsOnG
+		rec.UsedDC = best.hasCare
+		o.setSpec(&rec, best.spec)
+	}
+	o.dt.Emit(rec)
+}
+
+// setSpec fills a record's realization fields from the chosen spec.
+func (o *optimizer) setSpec(rec *dtrace.Record, spec compare.Realization) {
+	_, rec.MultiUnit = spec.(compare.MultiSpec)
+	if s, ok := spec.(fmt.Stringer); ok {
+		rec.Spec = s.String()
+	}
+}
+
+// candRec appends one candidate-level decision record for sub (a subcircuit
+// rooted at g) to recs. Callers guard on o.dt != nil, so the off path never
+// reaches here.
+func (o *optimizer) candRec(recs []dtrace.Record, c *circuit.Circuit, g int, sub *subckt.Subcircuit, oldPaths uint64, outcome dtrace.Reason) []dtrace.Record {
+	return append(recs, dtrace.Record{
+		Pass:        o.passNo,
+		Kind:        "cand",
+		Node:        g,
+		Name:        c.Nodes[g].Name,
+		Outcome:     outcome,
+		Cut:         sub.Inputs,
+		Width:       len(sub.Inputs),
+		PathsBefore: oldPaths,
+	})
 }
 
 // sortTopo orders o.topo by (level, id). Levels increase along every edge,
@@ -652,11 +722,20 @@ type candidate struct {
 
 // selectReplacement evaluates all candidates for gate output g and returns
 // the chosen replacement, or nil to keep the existing logic.
+//
+// When decision tracing is on, one record per enumerated candidate is
+// buffered in enumeration order and emitted at the end of the call, once the
+// winner's outcome is known: losers to a realized winner stay Dominated, and
+// the winner itself resolves to Accepted or to the enumerated rejection that
+// blocked it (ObjectiveWorse, or PathBound when only the saturated path
+// labels vetoed an otherwise-improving replacement).
 func (o *optimizer) selectReplacement(c *circuit.Circuit, g int) *candidate {
 	subs := o.db.EnumerateFromCuts(c, g)
 	np, npOK := o.np, o.npOK
 	oldPathsOnG := np[g]
 	var best *candidate
+	var recs []dtrace.Record               // per-candidate trace, nil unless o.dt != nil
+	bestRec := -1                          // index in recs of the current best's record
 	better := func(a, b *candidate) bool { // is a better than b?
 		switch o.opt.Objective {
 		case MinGates:
@@ -682,6 +761,9 @@ func (o *optimizer) selectReplacement(c *circuit.Circuit, g int) *candidate {
 		// contribute no logic and their paths disappear entirely.
 		ex := o.extractTT(c, sub)
 		if ex.stt.Vars() == 0 {
+			if o.dt != nil {
+				recs = o.candRec(recs, c, g, sub, oldPathsOnG, dtrace.ConstFunction)
+			}
 			continue // constant function: left to Simplify
 		}
 		stt, kept := ex.stt, ex.kept
@@ -711,6 +793,9 @@ func (o *optimizer) selectReplacement(c *circuit.Circuit, g int) *candidate {
 			spec = multi
 		}
 		if !ok {
+			if o.dt != nil {
+				recs = o.candRec(recs, c, g, sub, oldPathsOnG, dtrace.NoComparisonUnit)
+			}
 			continue
 		}
 		keepInputs := make([]int, len(kept))
@@ -743,27 +828,61 @@ func (o *optimizer) selectReplacement(c *circuit.Circuit, g int) *candidate {
 		}
 		if best == nil || better(cand, best) {
 			best = cand
+			bestRec = len(recs) // the record appended just below
 		}
-	}
-	if best == nil {
-		return nil
+		if o.dt != nil {
+			// Realized candidates default to Dominated; the winner's record
+			// is resolved after the sweep below.
+			recs = o.candRec(recs, c, g, sub, oldPathsOnG, dtrace.Dominated)
+			rec := &recs[len(recs)-1]
+			rec.GateSave = cand.gateSave
+			rec.PathsAfter = cand.pathsOnG
+			rec.UsedDC = cand.hasCare
+			o.setSpec(rec, cand.spec)
+		}
 	}
 	// Only rewrite when the objective strictly improves (the identity
-	// replacement keeps the circuit unchanged otherwise).
-	switch o.opt.Objective {
-	case MinGates:
-		if best.gateSave > 0 || (best.gateSave == 0 && npOK && best.pathsOnG < oldPathsOnG) {
-			return best
+	// replacement keeps the circuit unchanged otherwise). A best that fails
+	// the gate resolves to its enumerated rejection: PathBound when only the
+	// saturated path labels (npOK == false) vetoed an improvement the
+	// objective would otherwise take, ObjectiveWorse for a plain shortfall.
+	accepted := false
+	rejection := dtrace.ObjectiveWorse
+	if best != nil {
+		switch o.opt.Objective {
+		case MinGates:
+			if best.gateSave > 0 || (best.gateSave == 0 && npOK && best.pathsOnG < oldPathsOnG) {
+				accepted = true
+			} else if best.gateSave == 0 && best.pathsOnG < oldPathsOnG && !npOK {
+				rejection = dtrace.PathBound
+			}
+		case MinPaths:
+			if npOK && best.pathsOnG < oldPathsOnG {
+				accepted = true
+			} else if best.pathsOnG < oldPathsOnG && !npOK {
+				rejection = dtrace.PathBound
+			}
+		default:
+			m := float64(int64(oldPathsOnG)-int64(best.pathsOnG)) + o.opt.CombinedGateWeight*float64(best.gateSave)
+			if m > 0 {
+				accepted = true
+			}
 		}
-	case MinPaths:
-		if npOK && best.pathsOnG < oldPathsOnG {
-			return best
+	}
+	if o.dt != nil {
+		if bestRec >= 0 {
+			if accepted {
+				recs[bestRec].Outcome = dtrace.Accepted
+			} else {
+				recs[bestRec].Outcome = rejection
+			}
 		}
-	default:
-		m := float64(int64(oldPathsOnG)-int64(best.pathsOnG)) + o.opt.CombinedGateWeight*float64(best.gateSave)
-		if m > 0 {
-			return best
+		for i := range recs {
+			o.dt.Emit(recs[i])
 		}
+	}
+	if accepted {
+		return best
 	}
 	return nil
 }

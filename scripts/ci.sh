@@ -149,6 +149,27 @@ fi
     -heartbeat 0 -workers 4 >/dev/null
 cmp "$provdir/a1.json" "$provdir/a2.json"
 
+echo "== sftexplain gate =="
+# The decision trace is part of the determinism contract: records are
+# emitted only from the serial sweep and carry no scheduling-dependent
+# fields, so two -dtrace=full runs differing only in -workers must export
+# byte-identical canonical record streams. The query surface (why, reasons,
+# funnel, diff) must answer over a real c17 trace without error; 22 is a
+# c17 primary-output NAND. See README "Decision trace (-dtrace)".
+go build -o "$provdir/sftexplain" ./cmd/sftexplain
+"$provdir/sft" -in circuits/c17.bench -events "$provdir/dt2.ndjson" \
+    -dtrace=full -heartbeat 0 -workers 2 >/dev/null
+"$provdir/sft" -in circuits/c17.bench -events "$provdir/dt4.ndjson" \
+    -dtrace=full -heartbeat 0 -workers 4 >/dev/null
+"$provdir/sftexplain" export "$provdir/dt2.ndjson" > "$provdir/dt2.records"
+"$provdir/sftexplain" export "$provdir/dt4.ndjson" > "$provdir/dt4.records"
+test -s "$provdir/dt2.records"
+cmp "$provdir/dt2.records" "$provdir/dt4.records"
+"$provdir/sftexplain" why 22 "$provdir/dt2.ndjson" >/dev/null
+"$provdir/sftexplain" reasons "$provdir/dt2.ndjson" >/dev/null
+"$provdir/sftexplain" funnel "$provdir/dt2.ndjson" >/dev/null
+"$provdir/sftexplain" diff "$provdir/dt2.ndjson" "$provdir/dt4.ndjson" >/dev/null
+
 echo "== staleness =="
 # The committed experiment outputs must match what the tree regenerates.
 # figures_output.txt is fully deterministic and fast, so it is always
