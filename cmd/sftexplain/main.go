@@ -13,8 +13,10 @@
 //	sftexplain export EVENTS         canonical decision records as NDJSON
 //
 // Every subcommand takes -json for machine-readable output (export is
-// always NDJSON). Exit status: 0 on success (including an empty diff —
-// diff is informational), 2 on usage or load errors.
+// always NDJSON). reasons and funnel take -pass N to restrict the tally to
+// one resynthesis pass (0, the default, covers all passes). Flags go before
+// positional arguments. Exit status: 0 on success (including an empty
+// diff — diff is informational), 2 on usage or load errors.
 package main
 
 import (
@@ -30,10 +32,12 @@ import (
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: sftexplain COMMAND [-json] ARGS
   why NODE EVENTS     decision chain for NODE (name or numeric id)
-  reasons EVENTS      outcome tally per pass
-  funnel EVENTS       candidate funnel counts
+  reasons EVENTS      outcome tally per pass (-pass N for one pass)
+  funnel EVENTS       candidate funnel counts (-pass N for one pass)
   diff EVENTS EVENTS  final per-node outcomes that differ between two runs
-  export EVENTS       canonical decision records as NDJSON`)
+  export EVENTS       canonical decision records as NDJSON
+
+Flags go before positional arguments: sftexplain reasons -pass 2 EVENTS.`)
 	os.Exit(2)
 }
 
@@ -65,6 +69,7 @@ func main() {
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet("sftexplain "+cmd, flag.ExitOnError)
 	asJSON := fs.Bool("json", false, "machine-readable JSON output")
+	pass := fs.Int("pass", 0, "restrict reasons/funnel to one resynthesis pass (0 = all passes)")
 	fs.Parse(os.Args[2:])
 	args := fs.Args()
 
@@ -90,7 +95,7 @@ func main() {
 		if len(args) != 1 {
 			usage()
 		}
-		tr := load(args[0])
+		tr := load(args[0]).FilterPass(*pass)
 		counts := tr.ReasonCounts()
 		if *asJSON {
 			emitJSON(counts)
@@ -108,7 +113,7 @@ func main() {
 		if len(args) != 1 {
 			usage()
 		}
-		f := load(args[0]).Funnel()
+		f := load(args[0]).FilterPass(*pass).Funnel()
 		if *asJSON {
 			emitJSON(f)
 			return

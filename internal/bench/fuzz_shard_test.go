@@ -1,0 +1,83 @@
+package bench_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"compsynth/internal/bench"
+	"compsynth/internal/circuit"
+	"compsynth/internal/resynth"
+)
+
+// FuzzRegionPartition drives the sharded-resynthesis planning layer over
+// every circuit the parser accepts, reusing FuzzParseBench's seed corpus.
+// Two properties are checked on each accepted netlist:
+//
+//  1. The region partition is a cover of the candidate set: regions are
+//     disjoint, every candidate gate is assigned exactly once, and each
+//     gate's footprint is contained in its region's node set
+//     (resynth.CheckPartition — the independence argument of the sweep).
+//  2. A sharded pass over the fuzz-discovered netlist leaves a structurally
+//     valid circuit (circuit.Check) that is byte-identical to the serial
+//     sweep's output, so the OCC validate/re-queue machinery cannot be
+//     wedged into divergence by adversarial topologies.
+//
+// Caps are kept small (MaxPasses etc.) so the fuzzer spends its budget on
+// topology diversity rather than fixpoint iteration depth.
+func FuzzRegionPartition(f *testing.F) {
+	f.Add(bench.C17)
+	f.Add(bench.Adder4)
+	files, err := filepath.Glob(filepath.Join("..", "..", "circuits", "*.bench"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := bench.ParseString(src, "fuzz")
+		if err != nil {
+			return // not a circuit; FuzzParseBench owns parser robustness
+		}
+		opt := resynth.DefaultOptions()
+		opt.Verify = false
+		opt.MaxPasses = 2
+		opt.MaxCandidates = 8
+		opt.MaxSpecs = 2
+
+		p, err := resynth.ComputePartition(c, opt)
+		if err != nil {
+			t.Fatalf("ComputePartition: %v\ninput:\n%s", err, src)
+		}
+		if err := p.Check(); err != nil {
+			t.Fatalf("partition invariant violated: %v\ninput:\n%s", err, src)
+		}
+
+		serial := opt
+		serial.Workers = 1
+		rSerial, err := resynth.Optimize(c, serial)
+		if err != nil {
+			t.Fatalf("serial Optimize: %v\ninput:\n%s", err, src)
+		}
+		sharded := opt
+		sharded.Shard = true
+		sharded.Workers = 2
+		rShard, err := resynth.Optimize(c, sharded)
+		if err != nil {
+			t.Fatalf("sharded Optimize: %v\ninput:\n%s", err, src)
+		}
+		if err := circuit.CheckWith(rShard.Circuit, circuit.CheckOptions{AllowUnreachable: true}); err != nil {
+			t.Fatalf("sharded pass left an invalid circuit: %v\ninput:\n%s", err, src)
+		}
+		if got, want := bench.String(rShard.Circuit), bench.String(rSerial.Circuit); got != want {
+			t.Fatalf("sharded output diverges from serial:\n--- sharded ---\n%s--- serial ---\n%s input:\n%s",
+				got, want, src)
+		}
+	})
+}

@@ -1,0 +1,132 @@
+package circuit
+
+// Footprint queries on the frozen CSR view.
+//
+// The sharded resynthesis sweep speculates replacement decisions against a
+// snapshot and validates them later against the edit journal: a speculation
+// is stale iff a committed edit touched any node the speculation read. The
+// read set of one candidate evaluation is its cut cone — the gates on paths
+// between the cut and the candidate output, whose types and fanins the
+// truth-table extraction reads — plus the cut nodes themselves (liveness
+// checks) plus every consumer of a cone gate (the removability analysis
+// reads cone fanout lists). A Footprinter accumulates that set for one gate
+// across all of its cuts, deduplicated, as sparse node IDs.
+//
+// Soundness over precision: nodes the walk cannot resolve (an escaped cut
+// whose cone walk runs to the primary inputs, say) are simply included, so a
+// footprint is always a superset of what the evaluation reads; an
+// over-approximation only costs a spurious conflict, never a wrong result.
+
+// Footprinter computes read footprints of cut cones on one frozen CSR view.
+// It carries epoch-stamped scratch so repeated queries allocate nothing
+// after warm-up. Not safe for concurrent use; the sharded sweep runs it in
+// its serial planning phase.
+type Footprinter struct {
+	v     *CSR
+	seen  []uint32 // footprint membership, epoch-stamped, by dense id
+	inCut []uint32 // current AddCone's cut membership, epoch-stamped
+	done  []uint32 // current AddCone's expansion marks, epoch-stamped
+	epoch uint32   // bumped by Reset (seen) ...
+	cutEp uint32   // ... and by AddCone (inCut, done)
+	stack []int32
+	out   []int32 // accumulated footprint, sparse ids, first-visit order
+}
+
+// NewFootprinter returns a walker over the given view. The view must stay
+// current for the duration of use; build a new Footprinter (or call Rebind)
+// after the underlying circuit changes.
+func NewFootprinter(v *CSR) *Footprinter {
+	return &Footprinter{v: v}
+}
+
+// Rebind points the walker at a fresh view (keeping its scratch) and resets
+// the accumulated footprint.
+func (fp *Footprinter) Rebind(v *CSR) {
+	fp.v = v
+	fp.Reset()
+}
+
+// Reset starts a new (empty) footprint.
+func (fp *Footprinter) Reset() {
+	fp.epoch++
+	fp.out = fp.out[:0]
+}
+
+// add records dense node d in the current footprint once.
+func (fp *Footprinter) add(d int32) {
+	if fp.seen[d] == fp.epoch {
+		return
+	}
+	fp.seen[d] = fp.epoch
+	fp.out = append(fp.out, fp.v.NodeID[d])
+}
+
+// AddCone unions one cut cone into the current footprint: every node on a
+// path from out down to the cut (the cut nodes included), plus every
+// consumer of each cone node. out and cut are sparse node IDs; IDs absent
+// from the view (dead or out of range) are skipped.
+func (fp *Footprinter) AddCone(out int, cut []int) {
+	v := fp.v
+	n := v.N()
+	if len(fp.seen) < n {
+		fp.seen = growSlice(fp.seen, n)
+		fp.inCut = growSlice(fp.inCut, n)
+		fp.done = growSlice(fp.done, n)
+		// Grown scratch holds garbage; fresh epochs make every stamp stale.
+		for i := range fp.seen {
+			fp.seen[i] = 0
+			fp.inCut[i] = 0
+			fp.done[i] = 0
+		}
+		fp.epoch, fp.cutEp = 1, 0
+		fp.out = fp.out[:0]
+	}
+	fp.cutEp++
+	for _, id := range cut {
+		if id >= 0 && id < len(v.DenseOf) {
+			if d := v.DenseOf[id]; d >= 0 {
+				fp.inCut[d] = fp.cutEp
+				fp.add(d) // liveness of every cut node is read
+			}
+		}
+	}
+	if out < 0 || out >= len(v.DenseOf) {
+		return
+	}
+	root := v.DenseOf[out]
+	if root < 0 || fp.inCut[root] == fp.cutEp {
+		return
+	}
+	// DFS from the output toward the cut. Cone nodes contribute their
+	// consumers (fanout-list reads); the walk stops at cut members and at
+	// sources (inputs/constants have no fanins to descend). Expansion marks
+	// are per-cone, not per-footprint: two cuts of the same output bound
+	// their cones differently, so a node expanded for one cut must be
+	// re-expanded for the next or deeper cone nodes would be missed.
+	stack := fp.stack[:0]
+	stack = append(stack, root)
+	for len(stack) > 0 {
+		d := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if fp.done[d] == fp.cutEp {
+			continue
+		}
+		fp.done[d] = fp.cutEp
+		fp.add(d)
+		for _, cons := range v.FanoutOf(d) {
+			fp.add(cons)
+		}
+		for _, f := range v.FaninOf(d) {
+			if fp.inCut[f] != fp.cutEp && fp.done[f] != fp.cutEp {
+				stack = append(stack, f)
+			}
+		}
+	}
+	fp.stack = stack[:0]
+}
+
+// Footprint returns the accumulated sparse node IDs in first-visit order.
+// The slice aliases internal storage: valid until the next Reset/Rebind.
+func (fp *Footprinter) Footprint() []int32 {
+	return fp.out
+}

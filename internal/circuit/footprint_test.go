@@ -1,0 +1,186 @@
+package circuit
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// fpCircuit builds a small circuit with a reconvergent cone:
+//
+//	a, b inputs; g1 = AND(a, b); g2 = NOT(g1); g3 = OR(g1, a)
+//	outputs g2, g3
+func fpCircuit(t *testing.T) (c *Circuit, a, b, g1, g2, g3 int) {
+	t.Helper()
+	c = New("fp")
+	a = c.AddInput("a")
+	b = c.AddInput("b")
+	g1 = c.AddGate(And, "g1", a, b)
+	g2 = c.AddGate(Not, "g2", g1)
+	g3 = c.AddGate(Or, "g3", g1, a)
+	c.MarkOutput(g2)
+	c.MarkOutput(g3)
+	return c, a, b, g1, g2, g3
+}
+
+func sortedFootprint(fp *Footprinter) []int {
+	out := make([]int, 0, len(fp.Footprint()))
+	for _, id := range fp.Footprint() {
+		out = append(out, int(id))
+	}
+	sort.Ints(out)
+	return out
+}
+
+// TestFootprintConeAndConsumers checks the footprint definition on a known
+// topology: cut nodes, cone gates, and every consumer of a cone node.
+func TestFootprintConeAndConsumers(t *testing.T) {
+	c, a, b, g1, g2, g3 := fpCircuit(t)
+	fp := NewFootprinter(c.Freeze())
+
+	// Cone of g2 over cut {a, b}: gates g2, g1. Consumers of g2: none;
+	// consumers of g1: g2 and g3 — so g3 is in the footprint even though it
+	// is outside the cone (its fanout-list membership is read by the
+	// removability analysis).
+	fp.AddCone(g2, []int{a, b})
+	want := []int{a, b, g1, g2, g3}
+	sort.Ints(want)
+	if got := sortedFootprint(fp); !reflect.DeepEqual(got, want) {
+		t.Errorf("footprint(g2, {a,b}) = %v, want %v", got, want)
+	}
+
+	// A shallower cut bounds the cone earlier: cone of g2 over {g1} is just
+	// g2 (plus the cut node g1). g3 consumes g1, but g1 is a cut node here,
+	// and cut nodes contribute only their liveness — not their consumers.
+	fp.Reset()
+	fp.AddCone(g2, []int{g1})
+	want = []int{g1, g2}
+	if got := sortedFootprint(fp); !reflect.DeepEqual(got, want) {
+		t.Errorf("footprint(g2, {g1}) = %v, want %v", got, want)
+	}
+}
+
+// TestFootprintAccumulatesAcrossCuts checks that one gate's footprint is
+// the union over its cuts, and in particular that a node inside a deeper
+// cut's cone is re-expanded even when a shallower cut already visited it —
+// the regression the per-cone expansion marks exist for.
+func TestFootprintAccumulatesAcrossCuts(t *testing.T) {
+	c := New("chain")
+	a := c.AddInput("a")
+	n1 := c.AddGate(Not, "n1", a)
+	n2 := c.AddGate(Not, "n2", n1)
+	n3 := c.AddGate(Not, "n3", n2)
+	c.MarkOutput(n3)
+	fp := NewFootprinter(c.Freeze())
+
+	// Shallow cut first: cone of n3 over {n2} is just n3.
+	fp.AddCone(n3, []int{n2})
+	// Deep cut second: cone of n3 over {a} is n3, n2, n1. n3 was already
+	// expanded for the first cut; the walk must still descend through it.
+	fp.AddCone(n3, []int{a})
+	want := []int{a, n1, n2, n3}
+	if got := sortedFootprint(fp); !reflect.DeepEqual(got, want) {
+		t.Errorf("accumulated footprint = %v, want %v", got, want)
+	}
+}
+
+// TestFootprintEdgeCases covers the defensive paths: dead/out-of-range IDs
+// are skipped, a cut containing the output contributes only the cut, and
+// Reset/Rebind clear accumulated state.
+func TestFootprintEdgeCases(t *testing.T) {
+	c, a, b, g1, g2, _ := fpCircuit(t)
+	fp := NewFootprinter(c.Freeze())
+
+	fp.AddCone(g2, []int{g2}) // output in its own cut: no cone walk
+	if got := sortedFootprint(fp); !reflect.DeepEqual(got, []int{g2}) {
+		t.Errorf("footprint(g2, {g2}) = %v, want [%d]", got, g2)
+	}
+
+	fp.Reset()
+	fp.AddCone(99, []int{a, -1, 99}) // out-of-range IDs skipped
+	if got := sortedFootprint(fp); !reflect.DeepEqual(got, []int{a}) {
+		t.Errorf("footprint(99, {a,-1,99}) = %v, want [%d]", got, a)
+	}
+
+	if len(fp.Footprint()) == 0 {
+		t.Fatal("footprint empty before Reset")
+	}
+	fp.Reset()
+	if len(fp.Footprint()) != 0 {
+		t.Error("Reset did not clear the footprint")
+	}
+
+	// After an edit, Rebind to the fresh view: the dead node disappears
+	// from footprints.
+	c.ReplaceUses(g1, a)
+	c.SweepDead() // g1 now unused -> dead
+	if c.Alive(g1) {
+		t.Fatal("g1 survived the sweep")
+	}
+	fp.Rebind(c.Freeze())
+	fp.AddCone(g2, []int{a, b})
+	if got := sortedFootprint(fp); !reflect.DeepEqual(got, []int{a, b, g2}) {
+		t.Errorf("footprint after Kill = %v, want [%d %d %d]", got, a, b, g2)
+	}
+}
+
+// TestEditScope checks the scoped overlay capture: touch order, duplicates
+// kept, independence from the journal, restart-on-Begin, and the nil return
+// without an open scope.
+func TestEditScope(t *testing.T) {
+	c, a, _, g1, g2, g3 := fpCircuit(t)
+
+	if got := c.EndEditScope(); got != nil {
+		t.Errorf("EndEditScope without Begin = %v, want nil", got)
+	}
+
+	c.BeginJournal() // scopes must not consume the journal
+	c.BeginEditScope()
+	c.SetFanin(g3, 0, a)
+	c.SetFanin(g3, 1, a) // second touch of the same node is kept
+	got := c.EndEditScope()
+	// SetFanin touches the edited gate and the fanin endpoints whose fanout
+	// sets moved; duplicates are kept, so g3 must appear once per edit.
+	g3Touches := 0
+	for _, id := range got {
+		if id == g3 {
+			g3Touches++
+		}
+	}
+	if g3Touches < 2 {
+		t.Fatalf("scope captured %v, want at least two touches of g3 (=%d)", got, g3)
+	}
+	j := c.TakeJournal()
+	if !j[g3] {
+		t.Error("journal missed the scoped edit: scopes must not consume journal entries")
+	}
+
+	// A second Begin restarts the capture; earlier touches are dropped.
+	// (Rewire g1's consumers before the restart so the Kill is legal.)
+	c.BeginEditScope()
+	c.SetFanin(g2, 0, a)
+	c.SetFanin(g3, 0, a)
+	c.BeginEditScope()
+	c.Kill(g1)
+	got = c.EndEditScope()
+	for _, id := range got {
+		if id == g2 {
+			t.Error("restarted scope still holds the pre-restart touch of g2")
+		}
+	}
+	found := false
+	for _, id := range got {
+		if id == g1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("scope %v missed the Kill of g1", got)
+	}
+
+	// Scope closed: further edits are not captured.
+	c.SetFanin(g2, 0, a)
+	if c.scopeOn {
+		t.Error("scope still recording after EndEditScope")
+	}
+}

@@ -126,6 +126,23 @@ func (t *Trace) Why(node string) []dtrace.Record {
 	return out
 }
 
+// FilterPass returns a view of the trace restricted to records of one
+// resynthesis pass (1-based). pass <= 0 returns the trace unchanged — the
+// "all passes" default of the CLI's -pass flag. The returned Trace shares
+// the record storage when nothing is filtered out.
+func (t *Trace) FilterPass(pass int) *Trace {
+	if pass <= 0 {
+		return t
+	}
+	out := &Trace{Tool: t.Tool, Args: t.Args}
+	for i := range t.Records {
+		if t.Records[i].Pass == pass {
+			out.Records = append(out.Records, t.Records[i])
+		}
+	}
+	return out
+}
+
 // ReasonCount is one (pass, outcome) tally.
 type ReasonCount struct {
 	Pass    int           `json:"pass"`

@@ -157,6 +157,53 @@ func TestFunnel(t *testing.T) {
 	}
 }
 
+// TestFilterPass pins the -pass CLI filter's semantics: pass <= 0 is the
+// identity (same trace), a positive pass keeps exactly that pass's records
+// (so ReasonCounts and Funnel tally one pass), and an absent pass yields an
+// empty view.
+func TestFilterPass(t *testing.T) {
+	tr, err := explain.Load(writeFramed(t, sampleRecords()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.FilterPass(0); got != tr {
+		t.Error("FilterPass(0) should return the trace unchanged")
+	}
+	if got := tr.FilterPass(-1); got != tr {
+		t.Error("FilterPass(-1) should return the trace unchanged")
+	}
+	p2 := tr.FilterPass(2)
+	var want int
+	for _, r := range sampleRecords() {
+		if r.Pass == 2 {
+			want++
+		}
+	}
+	if len(p2.Records) != want {
+		t.Fatalf("FilterPass(2) kept %d records, want %d", len(p2.Records), want)
+	}
+	for i := range p2.Records {
+		if p2.Records[i].Pass != 2 {
+			t.Errorf("FilterPass(2) kept a pass-%d record", p2.Records[i].Pass)
+		}
+	}
+	for _, rc := range p2.ReasonCounts() {
+		if rc.Pass != 2 {
+			t.Errorf("ReasonCounts after FilterPass(2) has pass-%d row", rc.Pass)
+		}
+	}
+	f := p2.Funnel()
+	if f.GatesVisited != 1 || f.GatesSkipped != 1 || f.Candidates != 2 {
+		t.Errorf("Funnel after FilterPass(2) = %+v", f)
+	}
+	if got := tr.FilterPass(99); len(got.Records) != 0 {
+		t.Errorf("FilterPass(99) kept %d records, want 0", len(got.Records))
+	}
+	if got, wantTool := tr.FilterPass(2).Tool, tr.Tool; got != wantTool {
+		t.Errorf("FilterPass dropped Tool: %q != %q", got, wantTool)
+	}
+}
+
 func TestDiff(t *testing.T) {
 	recsA := sampleRecords()
 	a, err := explain.Load(writeFramed(t, recsA))

@@ -1,0 +1,47 @@
+// Package badshardmut injects violations of nodemut's speculative seam: a
+// //lint:speculative function runs concurrently against a shared circuit
+// snapshot and must never call a mutating Circuit method. Lint fixture; the
+// go tool never builds testdata, only sftlint's own loader does.
+package badshardmut
+
+import "compsynth/internal/circuit"
+
+// Evaluate mutates the shared snapshot from a speculative worker.
+//
+//lint:speculative
+func Evaluate(c *circuit.Circuit, id, src int) int {
+	c.SetFanin(id, 0, src)
+	return c.NumPOUses(id)
+}
+
+// EvaluateClosure hides the mutation inside a nested closure.
+//
+//lint:speculative
+func EvaluateClosure(c *circuit.Circuit, old, new int) func() {
+	return func() {
+		c.ReplaceUses(old, new)
+		c.SweepDead()
+	}
+}
+
+// Warm rebuilds lazy caches from a worker — a data race even though the
+// derived view is logically read-only.
+//
+//lint:speculative
+func Warm(c *circuit.Circuit) {
+	c.RebuildFanouts()
+	c.Freeze()
+}
+
+// Inspect is clean: reads and pure queries only.
+//
+//lint:speculative
+func Inspect(c *circuit.Circuit, id int) (bool, int) {
+	return c.Alive(id), len(c.Fanouts(id))
+}
+
+// Commit is clean: not annotated, so the serial commit phase may mutate.
+func Commit(c *circuit.Circuit, old, new int) {
+	c.ReplaceUses(old, new)
+	c.SweepDead()
+}

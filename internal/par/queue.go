@@ -1,0 +1,69 @@
+package par
+
+import (
+	"compsynth/internal/metric"
+	"compsynth/internal/obs"
+)
+
+// Live queue telemetry: how many items are pending between drains, how many
+// drain rounds ran, and how many items were pushed back after the first
+// drain (re-queued work, e.g. conflict losers in the sharded resynthesis
+// sweep). Scheduling-adjacent, so Live registry only — never in run reports.
+var (
+	lQueuePending  = metric.Live().Gauge("par.queue_pending")
+	lQueueDrains   = metric.Live().Counter("par.queue_drains")
+	lQueueRequeued = metric.Live().Counter("par.queue_requeued")
+)
+
+// Queue is a deterministic work queue with re-queue support, built for
+// speculate/validate/re-queue rounds: a serial coordinator Pushes items
+// (regions, tasks), Drain snapshots the pending items and fans them out over
+// Run's atomic claiming, and items Pushed after a drain — conflict losers —
+// form the next round's snapshot.
+//
+// The determinism contract matches the rest of the package: the snapshot
+// order is exactly push order, every item of a drain is processed exactly
+// once, and fn must write only item-indexed state, so results are
+// bit-identical for every worker count. Push and Len are coordinator-side
+// only — they must not be called concurrently with an in-flight Drain
+// (including from fn itself); re-queues happen between drains.
+type Queue[T any] struct {
+	pending []T
+	drained bool
+}
+
+// NewQueue returns an empty queue.
+func NewQueue[T any]() *Queue[T] {
+	return &Queue[T]{}
+}
+
+// Push appends one item to the pending round.
+func (q *Queue[T]) Push(v T) {
+	q.pending = append(q.pending, v)
+	if q.drained {
+		lQueueRequeued.Inc()
+	}
+	lQueuePending.Set(int64(len(q.pending)))
+}
+
+// Len returns the number of items pending for the next drain.
+func (q *Queue[T]) Len() int { return len(q.pending) }
+
+// Drain snapshots the pending items, clears the queue, and runs
+// fn(worker, item) for each over min(Workers(workers), items) goroutines via
+// Run. Returns the number of items processed. With nothing pending it
+// returns 0 without spawning anything.
+func (q *Queue[T]) Drain(tr *obs.Tracer, name string, workers int, fn func(worker int, item T)) int {
+	items := q.pending
+	q.pending = nil
+	q.drained = true
+	lQueuePending.Set(0)
+	if len(items) == 0 {
+		return 0
+	}
+	lQueueDrains.Inc()
+	Run(tr, name, workers, len(items), func(w, i int) {
+		fn(w, items[i])
+	})
+	return len(items)
+}

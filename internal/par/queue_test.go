@@ -1,0 +1,111 @@
+package par
+
+import (
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestQueueDrainProcessesAll checks one drain round: every pushed item is
+// processed exactly once, at any worker count, and the queue is empty after.
+func TestQueueDrainProcessesAll(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		q := NewQueue[int]()
+		for i := 0; i < 100; i++ {
+			q.Push(i)
+		}
+		if q.Len() != 100 {
+			t.Fatalf("workers=%d: Len = %d before drain, want 100", workers, q.Len())
+		}
+		var mu sync.Mutex
+		var got []int
+		n := q.Drain(nil, "queue_test", workers, func(_, item int) {
+			mu.Lock()
+			got = append(got, item)
+			mu.Unlock()
+		})
+		if n != 100 {
+			t.Errorf("workers=%d: Drain processed %d items, want 100", workers, n)
+		}
+		if q.Len() != 0 {
+			t.Errorf("workers=%d: Len = %d after drain, want 0", workers, q.Len())
+		}
+		sort.Ints(got)
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("workers=%d: processed items %v, want 0..99 each exactly once", workers, got)
+			}
+		}
+	}
+}
+
+// TestQueueRequeueRounds checks the speculate/validate/re-queue shape: items
+// pushed between drains form the next round's snapshot in push order, and an
+// empty queue drains as a no-op.
+func TestQueueRequeueRounds(t *testing.T) {
+	q := NewQueue[string]()
+	if n := q.Drain(nil, "queue_test", 4, func(_ int, _ string) {
+		t.Error("fn called on an empty drain")
+	}); n != 0 {
+		t.Fatalf("empty Drain returned %d", n)
+	}
+
+	q.Push("a")
+	q.Push("b")
+	var round1 []string
+	q.Drain(nil, "queue_test", 1, func(_ int, s string) { round1 = append(round1, s) })
+
+	// Conflict losers re-queue for the next round.
+	q.Push("b")
+	q.Push("c")
+	var round2 []string
+	q.Drain(nil, "queue_test", 1, func(_ int, s string) { round2 = append(round2, s) })
+
+	if want := []string{"a", "b"}; !equalStrings(round1, want) {
+		t.Errorf("round 1 = %v, want %v", round1, want)
+	}
+	if want := []string{"b", "c"}; !equalStrings(round2, want) {
+		t.Errorf("round 2 = %v, want %v", round2, want)
+	}
+}
+
+// TestQueueTelemetry checks the Live instruments: re-queues count only after
+// the first drain, and the pending gauge tracks Push/Drain.
+func TestQueueTelemetry(t *testing.T) {
+	requeued0 := lQueueRequeued.Value()
+	drains0 := lQueueDrains.Value()
+
+	q := NewQueue[int]()
+	q.Push(1)
+	q.Push(2)
+	if got := lQueueRequeued.Value() - requeued0; got != 0 {
+		t.Errorf("pushes before the first drain counted as re-queues: %d", got)
+	}
+	if got := lQueuePending.Value(); got != 2 {
+		t.Errorf("pending gauge = %d after two pushes, want 2", got)
+	}
+	q.Drain(nil, "queue_test", 2, func(_, _ int) {})
+	if got := lQueuePending.Value(); got != 0 {
+		t.Errorf("pending gauge = %d after drain, want 0", got)
+	}
+	q.Push(3)
+	if got := lQueueRequeued.Value() - requeued0; got != 1 {
+		t.Errorf("re-queued counter = %d after one post-drain push, want 1", got)
+	}
+	q.Drain(nil, "queue_test", 2, func(_, _ int) {})
+	if got := lQueueDrains.Value() - drains0; got != 2 {
+		t.Errorf("drains counter advanced by %d, want 2", got)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

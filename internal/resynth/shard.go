@@ -1,0 +1,472 @@
+package resynth
+
+// Region-sharded parallel resynthesis with optimistic conflict detection.
+//
+// The serial sweep (pass in resynth.go) visits gates in reverse canonical
+// order, evaluating each candidate set against the current circuit and
+// applying winners immediately. The sharded sweep splits that into three
+// phases per round, OCC-style:
+//
+//  1. Plan (serial): compute every pending gate's read/write footprint on
+//     the frozen CSR view — its cut cones plus the consumers of every cone
+//     gate — and union-find gates with overlapping footprints into disjoint
+//     regions. Non-overlapping regions read disjoint state, so they are
+//     provably independent.
+//  2. Speculate (parallel): workers claim whole regions from a par.Queue
+//     and run the full select-replacement evaluation for each gate
+//     speculatively — reading the circuit, never writing it — buffering
+//     the decision, candidate counters, and trace records into a gateEval.
+//  3. Commit (serial): walk the canonical (level, id) order exactly as the
+//     serial sweep does, replaying each speculation's side effects and
+//     applying accepted replacements. Before a speculation is used it is
+//     validated against the edit journal: every committed edit stamps the
+//     nodes it touched (plus their fanins, which covers fanout-list growth
+//     the journal cannot see) with a commit sequence number, and a
+//     speculation whose footprint contains a node stamped after its epoch
+//     is stale — the loser is aborted and re-queued, together with every
+//     other pending speculation already invalidated, for one more
+//     speculation round before the walk resumes.
+//
+// Because the commit phase makes every decision in the canonical serial
+// order from validated speculations — and a stale speculation is recomputed
+// rather than trusted — the optimized netlist, the decision-trace stream,
+// the certificate evidence, and the run-report counters are byte-identical
+// to the serial sweep at every worker count (TestShardedMatchesSerial, and
+// the CI determinism gate over sft/sftexplain artifacts).
+
+import (
+	"fmt"
+	"sort"
+
+	"compsynth/internal/circuit"
+	"compsynth/internal/metric"
+	"compsynth/internal/obs"
+	"compsynth/internal/obs/dtrace"
+	"compsynth/internal/par"
+)
+
+// Shard telemetry. Conflict/re-queue behavior depends on region shapes but
+// the *counts* here are deterministic for a given input (validation compares
+// deterministic footprints against deterministic commit stamps); they still
+// live in the Live registry — visible on /metrics and /progress, absent from
+// run reports — because they describe machinery, not results, and must not
+// widen the obsdiff zero-tolerance surface.
+var (
+	lShardRegions   = metric.Live().Counter("resynth.shard_regions")
+	lShardConflicts = metric.Live().Counter("resynth.shard_conflicts")
+	lShardRequeues  = metric.Live().Counter("resynth.shard_requeues")
+	lShardCommits   = metric.Live().Counter("resynth.shard_commits")
+)
+
+// gateEval is one speculative evaluation of a gate: the decision plus every
+// global side effect the serial sweep would have performed, buffered for the
+// commit phase to replay in canonical order.
+type gateEval struct {
+	best   *candidate      // accepted replacement, nil to keep
+	recs   []dtrace.Record // resolved trace records, nil when tracing is off
+	nCand  int64           // candidates examined (mCandidates replay)
+	widths []float64       // candidate input widths (hCandInputs replay)
+	epoch  uint64          // commit sequence the speculation ran against
+}
+
+// shardRegion is one unit of speculative work: gates with overlapping
+// footprints, in canonical commit order.
+type shardRegion struct {
+	gates []int
+}
+
+// shardState is the per-pass bookkeeping of the sharded sweep.
+type shardState struct {
+	evals     []*gateEval // per sparse id; nil = never speculated
+	fps       [][]int32   // per sparse id: footprint at speculation time
+	lastWrite []uint64    // per sparse id: commit sequence of the last edit
+	commitSeq uint64
+	queue     *par.Queue[shardRegion]
+	fpr       *circuit.Footprinter
+}
+
+func newShardState(c *circuit.Circuit) *shardState {
+	n := len(c.Nodes)
+	return &shardState{
+		evals:     make([]*gateEval, n),
+		fps:       make([][]int32, n),
+		lastWrite: make([]uint64, n),
+		queue:     par.NewQueue[shardRegion](),
+	}
+}
+
+// stale reports whether ev (a speculation for gate g) read state that a
+// later commit has overwritten: any footprint node stamped after its epoch.
+func (s *shardState) stale(g int, ev *gateEval) bool {
+	for _, n := range s.fps[g] {
+		if int(n) < len(s.lastWrite) && s.lastWrite[n] > ev.epoch {
+			return true
+		}
+	}
+	return false
+}
+
+// shardGates returns the pass snapshot's candidate gates — every live
+// non-input, non-constant node — in canonical commit order (reverse topo).
+func (o *optimizer) shardGates(c *circuit.Circuit) []int {
+	topo := o.topo
+	gates := make([]int, 0, len(topo))
+	for i := len(topo) - 1; i >= 0; i-- {
+		g := topo[i]
+		t := c.Nodes[g].Type
+		if t == circuit.Input || t == circuit.Const0 || t == circuit.Const1 {
+			continue
+		}
+		gates = append(gates, g)
+	}
+	return gates
+}
+
+// computeFootprints fills s.fps for the given gates from the circuit's
+// current frozen view: the union over the gate's cuts of each cut cone, cut
+// nodes, and cone-gate consumers. Serial phase only (Freeze and the walker
+// mutate caches/scratch).
+func (o *optimizer) computeFootprints(c *circuit.Circuit, s *shardState, gates []int) {
+	v := c.Freeze()
+	if s.fpr == nil {
+		s.fpr = circuit.NewFootprinter(v)
+	} else {
+		s.fpr.Rebind(v)
+	}
+	for _, g := range gates {
+		s.fpr.Reset()
+		for _, cut := range o.db.Cuts(g) {
+			s.fpr.AddCone(g, cut)
+		}
+		s.fps[g] = append(s.fps[g][:0], s.fpr.Footprint()...)
+	}
+}
+
+// partitionRegions groups gates whose footprints share a node into regions
+// via union-find, preserving canonical commit order both across regions
+// (by first member) and within each region. The partition is a pure function
+// of the footprints — independent of worker count and scheduling.
+func partitionRegions(gates []int, fps [][]int32, numNodes int) []shardRegion {
+	parent := make([]int32, len(gates))
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		switch {
+		case ra == rb:
+		case ra < rb:
+			parent[rb] = ra
+		default:
+			parent[ra] = rb
+		}
+	}
+	owner := make([]int32, numNodes)
+	for i := range owner {
+		owner[i] = -1
+	}
+	for i, g := range gates {
+		for _, n := range fps[g] {
+			if int(n) >= numNodes {
+				continue
+			}
+			if o := owner[n]; o >= 0 {
+				union(int32(i), o)
+			} else {
+				owner[n] = int32(i)
+			}
+		}
+	}
+	regionOf := make([]int32, len(gates))
+	for i := range regionOf {
+		regionOf[i] = -1
+	}
+	var regions []shardRegion
+	for i, g := range gates {
+		r := find(int32(i))
+		k := regionOf[r]
+		if k < 0 {
+			k = int32(len(regions))
+			regionOf[r] = k
+			regions = append(regions, shardRegion{})
+		}
+		regions[k].gates = append(regions[k].gates, g)
+	}
+	return regions
+}
+
+// speculate runs one speculation round over the given pending gates:
+// footprints and regions are computed serially on the current circuit
+// state, then workers drain the region queue, evaluating every gate of
+// their regions into s.evals. The circuit is read-only for the whole drain
+// (lazy caches are made hot first), so concurrent region evaluation cannot
+// race even when footprints would have allowed it to matter.
+func (o *optimizer) speculate(c *circuit.Circuit, s *shardState, gates []int) {
+	if len(gates) == 0 {
+		return
+	}
+	// Make every lazily built read cache hot before fanning out: Fanouts
+	// (removability) and the frozen view (footprints already forced it)
+	// must not be rebuilt from a worker goroutine.
+	c.RebuildFanouts()
+	o.computeFootprints(c, s, gates)
+	regions := partitionRegions(gates, s.fps, len(c.Nodes))
+	lShardRegions.Add(int64(len(regions)))
+	epoch := s.commitSeq
+	for _, r := range regions {
+		s.queue.Push(r)
+	}
+	s.queue.Drain(o.opt.Tracer, "resynth.shard", o.workers, func(_ int, r shardRegion) {
+		for _, g := range r.gates {
+			ev := &gateEval{epoch: epoch}
+			ev.best = o.evalGate(c, g, ev)
+			s.evals[g] = ev
+		}
+	})
+}
+
+// respeculate handles a validation failure at topo index from: it collects
+// every pending gate (index from down to 0) whose speculation is stale or
+// missing — the deterministic loser set — and runs one more speculation
+// round for the batch before the commit walk resumes.
+func (o *optimizer) respeculate(c *circuit.Circuit, s *shardState, topo []int, from int) {
+	var batch []int
+	for i := from; i >= 0; i-- {
+		g := topo[i]
+		if !c.Alive(g) {
+			continue
+		}
+		t := c.Nodes[g].Type
+		if t == circuit.Input || t == circuit.Const0 || t == circuit.Const1 {
+			continue
+		}
+		if ev := s.evals[g]; ev == nil || s.stale(g, ev) {
+			batch = append(batch, g)
+		}
+	}
+	lShardRequeues.Add(int64(len(batch)))
+	o.speculate(c, s, batch)
+}
+
+// commitApply applies an accepted replacement inside an edit-journal scope
+// and stamps every node the edit moved — plus the fanins of each touched
+// node, which covers the one class of read the journal cannot witness
+// directly: a surviving node's fanout list growing because a freshly built
+// unit gate consumes it.
+func (o *optimizer) commitApply(c *circuit.Circuit, s *shardState, best *candidate) {
+	c.BeginEditScope()
+	o.apply(c, best)
+	touched := c.EndEditScope()
+	if len(touched) == 0 {
+		return
+	}
+	s.commitSeq++
+	for len(s.lastWrite) < len(c.Nodes) {
+		s.lastWrite = append(s.lastWrite, 0)
+	}
+	for _, id := range touched {
+		s.lastWrite[id] = s.commitSeq
+		if c.Alive(id) {
+			for _, f := range c.Nodes[id].Fanin {
+				s.lastWrite[f] = s.commitSeq
+			}
+		}
+	}
+}
+
+// passSharded is the region-sharded counterpart of the serial sweep in
+// pass(): identical decisions, identical emission order, identical circuit —
+// only the evaluation work is speculated in parallel. Called by pass() after
+// the per-pass state (cuts, levels, path labels, SDC rows) is ready.
+func (o *optimizer) passSharded(c *circuit.Circuit) int {
+	topo := o.topo
+	s := newShardState(c)
+	o.speculate(c, s, o.shardGates(c))
+
+	marked := make([]bool, len(c.Nodes))
+	mark := func(id int) {
+		for id >= len(marked) {
+			marked = append(marked, false)
+		}
+		marked[id] = true
+	}
+	for _, out := range c.Outputs {
+		mark(out)
+	}
+	replaced := 0
+	for i := len(topo) - 1; i >= 0; i-- {
+		g := topo[i]
+		if !c.Alive(g) {
+			o.traceGate(c, g, dtrace.SkippedDead, nil)
+			continue
+		}
+		if !marked[g] {
+			o.traceGate(c, g, dtrace.SkippedUnmarked, nil)
+			continue
+		}
+		nd := c.Nodes[g]
+		if nd.Type == circuit.Input || nd.Type == circuit.Const0 || nd.Type == circuit.Const1 {
+			o.traceGate(c, g, dtrace.SkippedNonGate, nil)
+			continue
+		}
+		ev := s.evals[g]
+		if ev == nil || s.stale(g, ev) {
+			// A committed edit overlapped this speculation's footprint: the
+			// loser aborts and re-queues with every other invalidated
+			// pending speculation, deterministically.
+			lShardConflicts.Inc()
+			o.respeculate(c, s, topo, i)
+			ev = s.evals[g]
+		}
+		// Replay the speculation's buffered side effects exactly where the
+		// serial sweep would have produced them.
+		mCandidates.Add(ev.nCand)
+		for _, w := range ev.widths {
+			hCandInputs.Observe(w)
+		}
+		if o.dt != nil {
+			for j := range ev.recs {
+				o.dt.Emit(ev.recs[j])
+			}
+		}
+		obs.EmitProgress("resynth.candidates", mCandidates.Value(), 0)
+		lShardCommits.Inc()
+		best := ev.best
+		if best != nil {
+			o.traceGate(c, g, dtrace.Replaced, best)
+			o.commitApply(c, s, best)
+			mReplacements.Inc()
+			replaced++
+			for _, in := range best.sub.Inputs {
+				mark(in)
+			}
+		} else {
+			o.traceGate(c, g, dtrace.Kept, nil)
+			for _, f := range nd.Fanin {
+				mark(f)
+			}
+		}
+	}
+	return replaced
+}
+
+// ---------------------------------------------------------------------------
+// Exported partition audit surface (FuzzRegionPartition, tests).
+
+// Region is one shard of a pass snapshot's candidate gates: gates whose
+// read/write footprints overlap, transitively.
+type Region struct {
+	Gates      []int   // candidate gate ids, canonical commit order
+	Footprints [][]int // Footprints[i] is Gates[i]'s footprint, sorted ascending
+	Nodes      []int   // union of the footprints, sorted ascending
+}
+
+// Partition is the region decomposition the sharded sweep would use for the
+// first pass over c: a cover of the candidate gates by disjoint regions with
+// disjoint node sets, every gate's footprint contained in its region.
+type Partition struct {
+	Candidates []int // every candidate gate id, canonical commit order
+	Regions    []Region
+}
+
+// Check verifies the partition invariants the sharded sweep's independence
+// argument rests on: every region non-empty with one footprint per gate,
+// every candidate gate assigned to exactly one region, footprints non-empty
+// and contained in their region's node set, and region node sets pairwise
+// disjoint. It returns the first violation found, or nil.
+func (p *Partition) Check() error {
+	seenGate := map[int]int{}
+	for ri, r := range p.Regions {
+		if len(r.Gates) == 0 {
+			return fmt.Errorf("region %d is empty", ri)
+		}
+		if len(r.Footprints) != len(r.Gates) {
+			return fmt.Errorf("region %d: %d footprints for %d gates", ri, len(r.Footprints), len(r.Gates))
+		}
+		nodes := map[int]bool{}
+		for _, n := range r.Nodes {
+			nodes[n] = true
+		}
+		for gi, g := range r.Gates {
+			if prev, dup := seenGate[g]; dup {
+				return fmt.Errorf("gate %d in regions %d and %d", g, prev, ri)
+			}
+			seenGate[g] = ri
+			if len(r.Footprints[gi]) == 0 {
+				return fmt.Errorf("gate %d has an empty footprint", g)
+			}
+			for _, n := range r.Footprints[gi] {
+				if !nodes[n] {
+					return fmt.Errorf("region %d: gate %d footprint node %d outside region node set", ri, g, n)
+				}
+			}
+		}
+	}
+	for _, g := range p.Candidates {
+		if _, ok := seenGate[g]; !ok {
+			return fmt.Errorf("candidate gate %d not assigned to any region", g)
+		}
+	}
+	if len(seenGate) != len(p.Candidates) {
+		return fmt.Errorf("%d gates assigned, %d candidates", len(seenGate), len(p.Candidates))
+	}
+	seenNode := map[int]int{}
+	for ri, r := range p.Regions {
+		for _, n := range r.Nodes {
+			if prev, dup := seenNode[n]; dup {
+				return fmt.Errorf("node %d in regions %d and %d (regions must be disjoint)", n, prev, ri)
+			}
+			seenNode[n] = ri
+		}
+	}
+	return nil
+}
+
+// ComputePartition normalizes c exactly as Optimize does (clone, simplify,
+// compact), builds the first pass's derived state, and returns the region
+// partition of that snapshot. Exported for audit: the fuzz harness asserts
+// the cover/disjointness/containment invariants on arbitrary netlists.
+func ComputePartition(c *circuit.Circuit, opt Options) (*Partition, error) {
+	if opt.K <= 0 || opt.MaxPasses <= 0 {
+		return nil, fmt.Errorf("resynth: invalid options K=%d passes=%d", opt.K, opt.MaxPasses)
+	}
+	work := c.Clone()
+	work.Simplify()
+	work, _ = work.Compact()
+	o := &optimizer{opt: opt, workers: 1}
+	o.rebuildFull(work)
+	s := newShardState(work)
+	gates := o.shardGates(work)
+	o.computeFootprints(work, s, gates)
+	regions := partitionRegions(gates, s.fps, len(work.Nodes))
+	p := &Partition{Candidates: gates, Regions: make([]Region, len(regions))}
+	for i, r := range regions {
+		out := Region{Gates: r.gates, Footprints: make([][]int, len(r.gates))}
+		seen := map[int]bool{}
+		for j, g := range r.gates {
+			fp := make([]int, len(s.fps[g]))
+			for k, n := range s.fps[g] {
+				fp[k] = int(n)
+			}
+			sort.Ints(fp)
+			out.Footprints[j] = fp
+			for _, n := range fp {
+				if !seen[n] {
+					seen[n] = true
+					out.Nodes = append(out.Nodes, n)
+				}
+			}
+		}
+		sort.Ints(out.Nodes)
+		p.Regions[i] = out
+	}
+	return p, nil
+}

@@ -1,0 +1,174 @@
+package resynth
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"compsynth/internal/bench"
+	"compsynth/internal/gen"
+	"compsynth/internal/obs/dtrace"
+)
+
+// TestShardedMatchesSerial is the determinism contract of the region-sharded
+// sweep (modeled on TestIncrementalMatchesFull): for every objective,
+// identification mode and worker count, optimizing with Shard on must
+// produce results bit-identical to the plain serial sweep — same statistics,
+// same netlist text, and same certificate evidence.
+func TestShardedMatchesSerial(t *testing.T) {
+	suite := gen.SmallSuite()
+	if testing.Short() {
+		suite = suite[:1]
+	}
+	workerCounts := []int{1, 2, 4, 8}
+	if testing.Short() {
+		workerCounts = []int{1, 4}
+	}
+	for _, b := range suite {
+		c := b.Build()
+		for _, obj := range []Objective{MinGates, MinPaths, Combined} {
+			for _, sampling := range []bool{false, true} {
+				opt := DefaultOptions()
+				opt.Objective = obj
+				opt.UseSampling = sampling
+				opt.Verify = false // covered by other tests; keep the matrix fast
+				opt.Certify = true // evidence must replay identically too
+
+				serial := opt
+				serial.Workers = 1
+				rSerial, err := Optimize(c, serial)
+				if err != nil {
+					t.Fatalf("%s/%v/sampling=%v: serial: %v", b.Name, obj, sampling, err)
+				}
+				for _, w := range workerCounts {
+					name := fmt.Sprintf("%s/%v/sampling=%v/workers=%d", b.Name, obj, sampling, w)
+					sharded := opt
+					sharded.Shard = true
+					sharded.Workers = w
+					rShard, err := Optimize(c, sharded)
+					if err != nil {
+						t.Fatalf("%s: sharded: %v", name, err)
+					}
+					if got, want := rShard.String(), rSerial.String(); got != want {
+						t.Errorf("%s: stats diverge:\nsharded %s\nserial  %s", name, got, want)
+					}
+					if got, want := bench.String(rShard.Circuit), bench.String(rSerial.Circuit); got != want {
+						t.Errorf("%s: netlists diverge:\nsharded:\n%s\nserial:\n%s", name, got, want)
+					}
+					if !reflect.DeepEqual(rShard.Evidence, rSerial.Evidence) {
+						t.Errorf("%s: certificate evidence diverges:\nsharded %+v\nserial  %+v",
+							name, rShard.Evidence, rSerial.Evidence)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedMatchesSerialModes covers the SDC and multi-unit extension
+// modes at a couple of worker counts (the full matrix above keeps to the
+// base modes to stay fast).
+func TestShardedMatchesSerialModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension-mode matrix")
+	}
+	suite := gen.SmallSuite()
+	c := suite[0].Build()
+	for _, sdc := range []bool{false, true} {
+		for _, units := range []int{1, 2} {
+			opt := DefaultOptions()
+			opt.UseSDC = sdc
+			opt.MaxUnits = units
+			opt.Verify = false
+
+			serial := opt
+			serial.Workers = 1
+			rSerial, err := Optimize(c, serial)
+			if err != nil {
+				t.Fatalf("sdc=%v/units=%d: serial: %v", sdc, units, err)
+			}
+			for _, w := range []int{2, 4} {
+				name := fmt.Sprintf("sdc=%v/units=%d/workers=%d", sdc, units, w)
+				sharded := opt
+				sharded.Shard = true
+				sharded.Workers = w
+				rShard, err := Optimize(c, sharded)
+				if err != nil {
+					t.Fatalf("%s: sharded: %v", name, err)
+				}
+				if got, want := rShard.String(), rSerial.String(); got != want {
+					t.Errorf("%s: stats diverge: sharded %s serial %s", name, got, want)
+				}
+				if got, want := bench.String(rShard.Circuit), bench.String(rSerial.Circuit); got != want {
+					t.Errorf("%s: netlists diverge:\nsharded:\n%s\nserial:\n%s", name, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedDtraceMatchesSerial pins the decision-trace half of the
+// contract: the sharded sweep must emit exactly the serial record stream —
+// same records, same order — at any worker count, because candidate records
+// are buffered at speculation time and replayed in commit order.
+func TestShardedDtraceMatchesSerial(t *testing.T) {
+	c := gen.SmallSuite()[0].Build()
+	capture := func(shard bool, workers int) []dtrace.Record {
+		var recs []dtrace.Record
+		opt := DefaultOptions()
+		opt.Verify = false
+		opt.Shard = shard
+		opt.Workers = workers
+		opt.Dtrace = dtrace.New(dtrace.Mode{Level: dtrace.LevelFull}, func(r *dtrace.Record) {
+			recs = append(recs, *r)
+		})
+		if _, err := Optimize(c, opt); err != nil {
+			t.Fatalf("shard=%v workers=%d: %v", shard, workers, err)
+		}
+		return recs
+	}
+	want := capture(false, 1)
+	if len(want) == 0 {
+		t.Fatal("serial run emitted no decision records")
+	}
+	for _, w := range []int{1, 2, 4} {
+		got := capture(true, w)
+		if !reflect.DeepEqual(got, want) {
+			n := len(got)
+			if len(want) < n {
+				n = len(want)
+			}
+			for i := 0; i < n; i++ {
+				if !reflect.DeepEqual(got[i], want[i]) {
+					t.Fatalf("workers=%d: record %d diverges:\nsharded %+v\nserial  %+v",
+						w, i, got[i], want[i])
+				}
+			}
+			t.Fatalf("workers=%d: record count diverges: sharded %d serial %d", w, len(got), len(want))
+		}
+	}
+}
+
+// TestComputePartitionInvariants checks the exported partition audit
+// surface on the generator suite: the regions cover every candidate gate
+// exactly once, region node sets are disjoint, and every gate's footprint
+// is contained in its region (the independence argument of the sharded
+// sweep, Partition.Check). The fuzz harness
+// (internal/bench.FuzzRegionPartition) runs the same invariants over
+// arbitrary parsed netlists.
+func TestComputePartitionInvariants(t *testing.T) {
+	for _, b := range gen.SmallSuite() {
+		c := b.Build()
+		opt := DefaultOptions()
+		p, err := ComputePartition(c, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if err := p.Check(); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+		if len(p.Candidates) == 0 {
+			t.Errorf("%s: no candidate gates", b.Name)
+		}
+	}
+}
