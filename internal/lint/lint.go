@@ -40,13 +40,19 @@ import (
 	"strings"
 )
 
-// Diagnostic is one rule violation.
+// Diagnostic is one rule violation. ID is stable across unrelated edits
+// (rule + file + message hash for syntactic rules, rule + entry + sink hash
+// for interprocedural ones) so the baseline survives line-number churn.
+// Witness, present on interprocedural findings, is the call path from the
+// seam to the violating statement.
 type Diagnostic struct {
-	File string `json:"file"`
-	Line int    `json:"line"`
-	Col  int    `json:"col"`
-	Rule string `json:"rule"`
-	Msg  string `json:"message"`
+	File    string   `json:"file"`
+	Line    int      `json:"line"`
+	Col     int      `json:"col"`
+	Rule    string   `json:"rule"`
+	Msg     string   `json:"message"`
+	ID      string   `json:"id"`
+	Witness []string `json:"witness,omitempty"`
 }
 
 func (d Diagnostic) String() string {
@@ -68,9 +74,11 @@ type Config struct {
 	RelativeTo string
 }
 
-// AllRules lists every rule name, in reporting order.
+// AllRules lists every rule name, in reporting order. purity and sharedmut
+// (and the transitive half of wallclock) are interprocedural: they run on a
+// whole-module call graph rather than per file.
 func AllRules() []string {
-	return []string{"wallclock", "maporder", "metricname", "cachekey", "nodemut"}
+	return []string{"wallclock", "maporder", "metricname", "cachekey", "nodemut", "purity", "sharedmut"}
 }
 
 func (cfg Config) ruleEnabled(name string) bool {
@@ -115,9 +123,12 @@ func (cfg Config) deterministic(pkgPath, modPath string) bool {
 }
 
 // Analyze loads every directory and runs the configured rules, returning
-// diagnostics sorted by position. The returned error reports load or
-// type-check failures, which are distinct from findings: a package that does
-// not compile cannot be certified.
+// normalized (deduplicated, position-sorted) diagnostics. The syntactic
+// rules run per package; the interprocedural rules (purity, sharedmut, the
+// transitive half of wallclock) run once on a call graph spanning every
+// loaded package, reporting only on the requested ones. The returned error
+// reports load or type-check failures, which are distinct from findings: a
+// package that does not compile cannot be certified.
 func Analyze(dirs []string, cfg Config) ([]Diagnostic, error) {
 	if len(dirs) == 0 {
 		return nil, fmt.Errorf("lint: no packages to analyze")
@@ -126,16 +137,33 @@ func Analyze(dirs []string, cfg Config) ([]Diagnostic, error) {
 	if err != nil {
 		return nil, err
 	}
-	var diags []Diagnostic
+	var requested []*Package
 	for _, dir := range dirs {
 		p, err := l.Load(dir)
 		if err != nil {
 			return nil, err
 		}
+		requested = append(requested, p)
+	}
+	var diags []Diagnostic
+	for _, p := range requested {
 		diags = append(diags, analyzePackage(l, p, cfg)...)
 	}
-	sortDiagnostics(diags)
-	return diags, nil
+	diags = append(diags, analyzeInterproc(l, requested, cfg)...)
+	for i := range diags {
+		if cfg.RelativeTo != "" {
+			if rel, ok := strings.CutPrefix(diags[i].File, cfg.RelativeTo+"/"); ok {
+				diags[i].File = rel
+			}
+			diags[i].Witness = relativizeWitness(diags[i].Witness, cfg.RelativeTo)
+		}
+		if diags[i].ID == "" {
+			// Syntactic rules: rule + file + message hash. Line-independent,
+			// so reformatting does not invalidate the baseline.
+			diags[i].ID = fmt.Sprintf("%s/%s/%08x", diags[i].Rule, diags[i].File, fnv32a(diags[i].Msg))
+		}
+	}
+	return Normalize(diags), nil
 }
 
 func analyzePackage(l *Loader, p *Package, cfg Config) []Diagnostic {
@@ -154,13 +182,6 @@ func analyzePackage(l *Loader, p *Package, cfg Config) []Diagnostic {
 	}
 	if cfg.ruleEnabled("nodemut") && p.Path != l.ModPath+"/internal/circuit" {
 		r.nodemut()
-	}
-	for i := range r.diags {
-		if cfg.RelativeTo != "" {
-			if rel, ok := strings.CutPrefix(r.diags[i].File, cfg.RelativeTo+"/"); ok {
-				r.diags[i].File = rel
-			}
-		}
 	}
 	return r.diags
 }
@@ -184,7 +205,11 @@ func (r *runner) report(pos token.Pos, rule, format string, args ...any) {
 	})
 }
 
-func sortDiagnostics(ds []Diagnostic) {
+// Normalize sorts diagnostics by (file, line, col, rule, message) and drops
+// exact duplicates, making every output format byte-stable across runs. Two
+// call paths reaching the same sink through different seams are distinct
+// findings (different IDs and witnesses) and both survive.
+func Normalize(ds []Diagnostic) []Diagnostic {
 	sort.Slice(ds, func(i, j int) bool {
 		if ds[i].File != ds[j].File {
 			return ds[i].File < ds[j].File
@@ -195,16 +220,37 @@ func sortDiagnostics(ds []Diagnostic) {
 		if ds[i].Col != ds[j].Col {
 			return ds[i].Col < ds[j].Col
 		}
-		return ds[i].Rule < ds[j].Rule
+		if ds[i].Rule != ds[j].Rule {
+			return ds[i].Rule < ds[j].Rule
+		}
+		if ds[i].Msg != ds[j].Msg {
+			return ds[i].Msg < ds[j].Msg
+		}
+		return ds[i].ID < ds[j].ID
 	})
+	out := ds[:0]
+	for i, d := range ds {
+		if i > 0 && d.File == out[len(out)-1].File && d.Line == out[len(out)-1].Line &&
+			d.Col == out[len(out)-1].Col && d.Rule == out[len(out)-1].Rule &&
+			d.Msg == out[len(out)-1].Msg && d.ID == out[len(out)-1].ID {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
 }
 
-// FormatText renders diagnostics one per line.
+// FormatText renders diagnostics one per line, witnesses indented below.
 func FormatText(ds []Diagnostic) string {
 	var b strings.Builder
 	for _, d := range ds {
 		b.WriteString(d.String())
 		b.WriteByte('\n')
+		for _, w := range d.Witness {
+			b.WriteString("    ")
+			b.WriteString(w)
+			b.WriteByte('\n')
+		}
 	}
 	return b.String()
 }

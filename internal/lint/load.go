@@ -3,12 +3,14 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -148,11 +150,22 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 	}
 	var files []*ast.File
 	for _, n := range names {
-		f, err := parser.ParseFile(l.fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		full := filepath.Join(dir, n)
+		src, err := os.ReadFile(full)
+		if err != nil {
+			return nil, err
+		}
+		if !buildTagsMatch(src) {
+			continue // constrained out (e.g. //go:build ignore)
+		}
+		f, err := parser.ParseFile(l.fset, full, src, parser.ParseComments)
 		if err != nil {
 			return nil, err
 		}
 		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no buildable Go files in %s", dir)
 	}
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
@@ -176,6 +189,48 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 	}
 	l.pkgs[path] = p
 	return p, nil
+}
+
+// Loaded returns every package the loader has type-checked so far —
+// requested directories and their transitively imported module packages —
+// sorted by import path. The call-graph builder derives node ids from this
+// order, so it must be deterministic.
+func (l *Loader) Loaded() []*Package {
+	out := make([]*Package, 0, len(l.pkgs))
+	for _, p := range l.pkgs {
+		if p != nil {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// buildTagsMatch evaluates a file's leading build constraints (//go:build
+// and legacy // +build lines) against the running toolchain's tag set:
+// GOOS, GOARCH, "gc", and every go1.N version tag. Files constrained out —
+// most importantly //go:build ignore helpers — are skipped exactly as the
+// go tool skips them.
+func buildTagsMatch(src []byte) bool {
+	ok := func(tag string) bool {
+		if tag == runtime.GOOS || tag == runtime.GOARCH || tag == "gc" {
+			return true
+		}
+		return strings.HasPrefix(tag, "go1") // any release-version tag
+	}
+	for _, line := range strings.Split(string(src), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "//") {
+			if expr, err := constraint.Parse(trimmed); err == nil {
+				if !expr.Eval(ok) {
+					return false
+				}
+			}
+			continue
+		}
+		break // package clause (or /* comment */, which cannot carry tags)
+	}
+	return true
 }
 
 // loaderImporter adapts Loader to types.Importer: module-internal paths are

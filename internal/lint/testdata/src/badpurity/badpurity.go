@@ -1,0 +1,62 @@
+// Package badpurity injects purity violations at the three seam kinds: a
+// par.Run task writing captured state, a par.Cache.GetOrCompute compute
+// closure writing a global, and a //lint:speculative function whose circuit
+// mutation hides one call down (where the syntactic nodemut check cannot
+// see it). Lint fixture; the go tool never builds testdata, only sftlint's
+// own loader does.
+package badpurity
+
+import (
+	"compsynth/internal/circuit"
+	"compsynth/internal/par"
+)
+
+// Sum fans out but accumulates into a captured variable with no barrier —
+// the canonical impure task.
+func Sum(items []int) int {
+	total := 0
+	par.Run(nil, "badpurity.sum", 4, len(items), func(_, i int) {
+		total += items[i]
+	})
+	return total
+}
+
+// SumIndexed is the clean twin: task-indexed writes are private by
+// contract, then reduced serially.
+func SumIndexed(items []int) int {
+	out := make([]int, len(items))
+	par.Run(nil, "badpurity.sum_indexed", 4, len(items), func(_, i int) {
+		out[i] = items[i]
+	})
+	total := 0
+	for _, v := range out {
+		total += v
+	}
+	return total
+}
+
+var hits int
+
+// Memo's compute closure bumps a package-level counter: computes race, so
+// the cached value would depend on scheduling.
+func Memo(c *par.Cache[int, int], k int) int {
+	return c.GetOrCompute(k, func() int {
+		hits++
+		return k * 2
+	})
+}
+
+// Evaluate is a speculative seam whose mutation is behind a call — clean to
+// the syntactic nodemut rule, impure to the whole-program one.
+//
+//lint:speculative
+func Evaluate(c *circuit.Circuit, id, src int) int {
+	commit(c, id, src)
+	return id
+}
+
+// commit is unannotated, so calling SetFanin here is legitimate — from the
+// serial phase. Reaching it from Evaluate is not.
+func commit(c *circuit.Circuit, id, src int) {
+	c.SetFanin(id, 0, src)
+}

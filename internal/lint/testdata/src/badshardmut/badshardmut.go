@@ -33,7 +33,9 @@ func Warm(c *circuit.Circuit) {
 	c.Freeze()
 }
 
-// Inspect is clean: reads and pure queries only.
+// Inspect is clean to the syntactic check — reads and queries only — but
+// Fanouts lazily calls RebuildFanouts, so the interprocedural purity rule
+// flags the hidden mutation one call down.
 //
 //lint:speculative
 func Inspect(c *circuit.Circuit, id int) (bool, int) {

@@ -1,0 +1,62 @@
+// Package badsharedmut injects sharedmut violations: goroutine-spawning
+// closures that write state shared with the spawner without a
+// sync/channel/atomic barrier. Lint fixture; the go tool never builds
+// testdata, only sftlint's own loader does.
+package badsharedmut
+
+import "sync"
+
+// Tally spawns a goroutine that writes a captured counter the spawner
+// reads — the textbook data race the -race tests only catch on exercised
+// schedules.
+func Tally(items []int) int {
+	n := 0
+	go func() {
+		for range items {
+			n++
+		}
+	}()
+	return n
+}
+
+var total int
+
+func bump(p *int) {
+	*p++
+}
+
+// Spawn hands the address of a global to a mutating function.
+func Spawn() {
+	go bump(&total)
+}
+
+// Guarded is the synchronized twin of Tally: same shape, mutex barrier on
+// both sides — no finding.
+func Guarded(items []int) int {
+	var mu sync.Mutex
+	n := 0
+	go func() {
+		mu.Lock()
+		for range items {
+			n++
+		}
+		mu.Unlock()
+	}()
+	mu.Lock()
+	defer mu.Unlock()
+	return n
+}
+
+// Channeled is the message-passing twin: the result crosses on a channel,
+// nothing is shared — no finding.
+func Channeled(items []int) int {
+	ch := make(chan int, 1)
+	go func() {
+		n := 0
+		for range items {
+			n++
+		}
+		ch <- n
+	}()
+	return <-ch
+}

@@ -1,0 +1,32 @@
+// Package badwallflow injects interprocedural wallclock violations: the
+// clock read is hidden behind helper calls or a stored function value, so
+// the single-body syntactic rule sees nothing in the outer functions and
+// only the call-graph taint propagation catches them. Lint fixture; the go
+// tool never builds testdata, only sftlint's own loader does.
+package badwallflow
+
+import "time"
+
+// Stamp looks pure — the wall-clock read is two calls down.
+func Stamp() int64 {
+	return ticks()
+}
+
+func ticks() int64 {
+	return nowNanos()
+}
+
+// nowNanos carries the direct read (the syntactic rule's finding); Stamp
+// and ticks are the transitive rule's.
+func nowNanos() int64 {
+	return time.Now().UnixNano()
+}
+
+// clock launders the source through a function-typed package variable.
+var clock = time.Now
+
+// Elapsed calls through the variable; the assignment index resolves it
+// back to time.Now.
+func Elapsed() time.Time {
+	return clock()
+}

@@ -1,0 +1,8 @@
+//go:build ignore
+
+// This file carries a deliberate type error: if the loader's build-tag
+// evaluation ever stops excluding it, loadedge fails to type-check and
+// every lint test goes red.
+package loadedge
+
+var brokenOnPurpose int = "not an int"

@@ -1,0 +1,43 @@
+// Package loadedge exercises the loader's and call-graph builder's edge
+// cases: generic functions and their instantiations (explicit and
+// inferred), method values, embedded interfaces, and per-file build
+// constraints (tagged.go is included, ignored.go is excluded). It carries
+// no violations — its job is to load cleanly; load_test.go asserts the
+// details.
+package loadedge
+
+// Inner and Outer exercise embedded-interface method sets.
+type Inner interface{ Name() string }
+
+type Outer interface {
+	Inner
+	Extra() int
+}
+
+type impl struct{ n string }
+
+func (i impl) Name() string { return i.n }
+func (impl) Extra() int     { return 1 }
+
+// Transform is generic: Use instantiates it by inference and explicitly.
+func Transform[T, U any](xs []T, f func(T) U) []U {
+	out := make([]U, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, f(x))
+	}
+	return out
+}
+
+// nameOf is a method value bound to a composite-literal receiver.
+var nameOf = impl{n: "edge"}.Name
+
+// Use touches every edge at once; taggedConst comes from tagged.go, so the
+// package only type-checks if the build-tag evaluation included that file.
+func Use(o Outer) []string {
+	labels := Transform([]int{1, 2}, func(int) string { return nameOf() + o.Name() })
+	widths := Transform[string, int](labels, func(s string) int { return len(s) + taggedConst })
+	if len(widths) != len(labels) {
+		return nil
+	}
+	return labels
+}

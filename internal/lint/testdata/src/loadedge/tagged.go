@@ -1,0 +1,7 @@
+//go:build go1.1
+
+package loadedge
+
+// taggedConst proves always-true build constraints keep their file in the
+// package: loadedge.go references it.
+const taggedConst = 1

@@ -20,19 +20,32 @@ echo "== go build =="
 go build ./...
 
 echo "== sftlint =="
-# Repo-specific static analysis (cmd/sftlint, internal/lint): wall-clock and
-# global-RNG bans in deterministic packages, map-iteration-order hazards,
-# obs metric naming, par.Cache key types, and circuit-node mutation
-# discipline. Two directions: the tree must lint clean, and the injected-
-# violation fixtures must still fail — a rule that silently stops firing is
-# as bad as a dirty tree.
+# Repo-specific static analysis (cmd/sftlint, internal/lint): the syntactic
+# rules (wall-clock and global-RNG bans in deterministic packages,
+# map-iteration-order hazards, obs metric naming, par.Cache key types,
+# circuit-node mutation discipline) plus the interprocedural rules on the
+# whole-module call graph (purity of par task/cache/speculative seams,
+# transitive wall-clock taint, unsynchronized goroutine-captured writes).
+# Two directions: the tree must lint clean beyond the committed
+# lint_baseline.json (new findings fail; stale baseline entries fail), and
+# the injected-violation fixtures must still fail — a rule that silently
+# stops firing is as bad as a dirty tree.
 # Run the built binary, not "go run": go run collapses every non-zero exit
-# to 1, and the fixture gate below must distinguish findings (1) from a
+# to 1, and the fixture gates below must distinguish findings (1) from a
 # load failure (2).
 sftlint="$(mktemp)"
 trap 'rm -f "$sftlint"' EXIT
 go build -o "$sftlint" ./cmd/sftlint
-"$sftlint" ./...
+# Tree gate. The SARIF artifact lands next to the run reports
+# (BENCH_*.json) at the repo root; it records every finding including the
+# baselined debt, and the output is byte-stable, so the committed copy only
+# changes when the findings do.
+"$sftlint" -baseline lint_baseline.json -sarif sftlint.sarif ./...
+# Suppression-debt gate: the //lint:ordered///lint:speculative comment
+# counts and the baselined-finding tally must match the counts pinned in
+# lint_baseline.json — growing debt without a reviewed baseline update in
+# the same commit fails here.
+"$sftlint" -debt -baseline lint_baseline.json >/dev/null
 set +e
 "$sftlint" -det-all internal/lint/testdata/src/... >/dev/null 2>&1
 sftlint_status=$?
@@ -41,6 +54,21 @@ if [ "$sftlint_status" -ne 1 ]; then
     echo "sftlint: fixture run exited $sftlint_status, want 1 (findings)" >&2
     exit 1
 fi
+# Per-rule must-fail gates for the interprocedural rules: each rule is run
+# alone against its dedicated fixture so a rule that stops firing cannot
+# hide behind the others' findings in the combined run above.
+for gate in wallclock:badwallflow purity:badpurity sharedmut:badsharedmut; do
+    rule="${gate%%:*}"
+    fixture="${gate##*:}"
+    set +e
+    "$sftlint" -det-all -rules "$rule" "internal/lint/testdata/src/$fixture" >/dev/null 2>&1
+    rule_status=$?
+    set -e
+    if [ "$rule_status" -ne 1 ]; then
+        echo "sftlint: rule $rule on $fixture exited $rule_status, want 1 (findings)" >&2
+        exit 1
+    fi
+done
 
 echo "== go test -race =="
 go test -race ./...
